@@ -1,0 +1,67 @@
+// The "GPU" of this reproduction.
+//
+// Bonsai's defining design decision (§III-A) is that *every* stage of the
+// tree algorithm — key sort, tree construction, multipole computation and the
+// tree walk — executes on the device, leaving the CPU only communication and
+// orchestration. Device reproduces that architecture on host threads: it owns
+// a worker pool (the "SMs"), dispatches target groups the way Bonsai
+// dispatches warps, and is the only component allowed to touch particle data
+// during a step. The calibrated GpuPerfModel (gpu_perf_model.hpp) converts
+// the operation counts this device records into modelled K20X/C2075 kernel
+// times for the paper-scale benchmarks.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "device/thread_pool.hpp"
+#include "sfc/keys.hpp"
+#include "tree/octree.hpp"
+#include "tree/particle.hpp"
+#include "tree/traverse.hpp"
+#include "util/flops.hpp"
+
+namespace bonsai {
+
+// Threads per warp on the hardware the paper targets (footnote 4).
+inline constexpr int kWarpSize = 32;
+
+class Device {
+ public:
+  // `num_threads == 0` uses all hardware threads.
+  explicit Device(std::size_t num_threads = 0)
+      : pool_(std::make_unique<ThreadPool>(num_threads)) {}
+
+  std::size_t num_threads() const { return pool_->num_threads(); }
+  ThreadPool& pool() { return *pool_; }
+
+  // --- Pipeline stages (Table II rows) -----------------------------------
+
+  // "Sorting SFC": compute keys in parallel and sort the particle arrays.
+  void sort_particles(ParticleSet& parts, const sfc::KeySpace& space);
+
+  // "Tree-construction": build the octree over the sorted particles.
+  void build_tree(const ParticleSet& parts, Octree& tree,
+                  int nleaf = Octree::kDefaultNLeaf);
+
+  // "Tree-properties": boxes, multipoles and MAC radii.
+  void compute_properties(const ParticleSet& parts, Octree& tree, double theta);
+
+  // "Compute gravity": walk `src` for all groups in parallel, accumulating
+  // accelerations into `targets`. Groups are dispatched across workers the
+  // way warps are scheduled onto SMs.
+  InteractionStats compute_forces(const TreeView& src, ParticleSet& targets,
+                                  std::span<const TargetGroup> groups,
+                                  const TraversalConfig& config, bool self);
+
+  // Generic data-parallel loop (integration, diagnostics, key generation).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+    pool_->parallel_for(n, fn);
+  }
+
+ private:
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace bonsai

@@ -1,0 +1,81 @@
+#include "device/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+namespace bonsai {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) num_threads = std::max(1u, std::thread::hardware_concurrency());
+  workers_.reserve(num_threads);
+  for (std::size_t t = 0; t < num_threads; ++t)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard lock(mutex_);
+    queue_.push(std::move(task));
+    ++in_flight_;
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                              std::size_t chunk) {
+  if (n == 0) return;
+  if (chunk == 0) {
+    // ~4 chunks per worker balances load without excessive queue churn.
+    chunk = std::max<std::size_t>(1, n / (4 * num_threads() + 1));
+  }
+  // Shared cursor: each worker grabs the next chunk until exhausted.
+  auto cursor = std::make_shared<std::atomic<std::size_t>>(0);
+  const std::size_t num_tasks = std::min(num_threads(), (n + chunk - 1) / chunk);
+  for (std::size_t t = 0; t < num_tasks; ++t) {
+    submit([cursor, n, chunk, &fn] {
+      for (;;) {
+        const std::size_t begin = cursor->fetch_add(chunk);
+        if (begin >= n) return;
+        const std::size_t end = std::min(n, begin + chunk);
+        for (std::size_t i = begin; i < end; ++i) fn(i);
+      }
+    });
+  }
+  wait_idle();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+    {
+      std::lock_guard lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace bonsai

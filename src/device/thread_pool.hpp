@@ -1,0 +1,53 @@
+// Fixed-size worker thread pool.
+//
+// The pool is the execution substrate for the Device abstraction (see
+// device.hpp). It intentionally supports exactly the two patterns the tree
+// pipeline needs: fire-and-wait task batches and counter-based parallel_for.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace bonsai {
+
+class ThreadPool {
+ public:
+  // `num_threads == 0` selects std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+  // Enqueue one task. Tasks must not throw (they run on worker threads); the
+  // pool terminates on escaped exceptions by design.
+  void submit(std::function<void()> task);
+
+  // Block until every submitted task has finished.
+  void wait_idle();
+
+  // Run fn(i) for i in [0, n), dynamically chunked over the workers, and
+  // block until complete. fn must be safe to invoke concurrently.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                    std::size_t chunk = 0);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace bonsai

@@ -1,0 +1,111 @@
+// Key-space utilities shared by the tree builder and the domain decomposition.
+//
+// A KeySpace maps physical positions inside a global bounding cube onto
+// 63-bit SFC keys (Peano-Hilbert in production, Morton as a baseline).
+// Because keys are assigned hierarchically, the top 3L bits of a key identify
+// the level-L cell of a *global* octree; domain boundaries expressed as key
+// ranges are therefore unions of octree branches (§III-B1 of the paper).
+#pragma once
+
+#include <cstdint>
+
+#include "sfc/hilbert.hpp"
+#include "sfc/morton.hpp"
+#include "util/aabb.hpp"
+#include "util/check.hpp"
+#include "util/vec3.hpp"
+
+namespace bonsai::sfc {
+
+using Key = std::uint64_t;
+
+// Largest valid key + 1: keys occupy 63 bits.
+inline constexpr Key kKeyEnd = Key{1} << (3 * kMaxLevel);
+
+enum class CurveType { kHilbert, kMorton };
+
+// Number of grid cells along one axis at octree level L.
+constexpr std::uint32_t cells_per_side(int level) { return 1u << level; }
+
+// Width in key units of one level-L cell (the size of its key range).
+constexpr Key cell_key_span(int level) { return Key{1} << (3 * (kMaxLevel - level)); }
+
+// Zero out the sub-cell bits of `key`, producing the first key of the level-L
+// cell that contains it.
+constexpr Key cell_first_key(Key key, int level) {
+  return key & ~(cell_key_span(level) - 1);
+}
+
+// One-past-the-last key of the level-L cell containing `key`.
+constexpr Key cell_last_key(Key key, int level) {
+  return cell_first_key(key, level) + cell_key_span(level);
+}
+
+// True if the level-L cells of a and b coincide.
+constexpr bool same_cell(Key a, Key b, int level) {
+  return cell_first_key(a, level) == cell_first_key(b, level);
+}
+
+// Octant digit (0..7) selected by `key` at `level` (level 1 = coarsest split).
+constexpr unsigned octant_at_level(Key key, int level) {
+  return static_cast<unsigned>((key >> (3 * (kMaxLevel - level))) & 7u);
+}
+
+// Maps positions within a fixed global cube to SFC keys and back.
+class KeySpace {
+ public:
+  KeySpace() = default;
+
+  // `bounds` must be (or will be inflated to) a cube; a small pad keeps
+  // boundary particles strictly inside the key grid.
+  explicit KeySpace(const AABB& bounds, CurveType curve = CurveType::kHilbert)
+      : cube_(bounds.bounding_cube(1e-10 + 1e-6 * bounds.max_side())), curve_(curve) {
+    BONSAI_CHECK(cube_.valid());
+    inv_cell_ = static_cast<double>(kCoordRange) / cube_.max_side();
+  }
+
+  const AABB& cube() const { return cube_; }
+  CurveType curve() const { return curve_; }
+
+  Coords to_coords(const Vec3d& p) const {
+    auto clamp21 = [](double v) {
+      if (v < 0.0) v = 0.0;
+      const double top = static_cast<double>(kCoordRange) - 1.0;
+      if (v > top) v = top;
+      return static_cast<std::uint32_t>(v);
+    };
+    return {clamp21((p.x - cube_.lo.x) * inv_cell_), clamp21((p.y - cube_.lo.y) * inv_cell_),
+            clamp21((p.z - cube_.lo.z) * inv_cell_)};
+  }
+
+  Key key(const Vec3d& p) const {
+    const Coords c = to_coords(p);
+    return curve_ == CurveType::kHilbert ? hilbert_encode(c.x, c.y, c.z)
+                                         : morton_encode(c.x, c.y, c.z);
+  }
+
+  Coords decode(Key k) const {
+    return curve_ == CurveType::kHilbert ? hilbert_decode(k) : morton_decode(k);
+  }
+
+  // Physical axis-aligned box of the level-L cell containing `key`.
+  AABB cell_box(Key key, int level) const {
+    BONSAI_CHECK(level >= 0 && level <= kMaxLevel);
+    const Coords c = decode(cell_first_key(key, level));
+    const std::uint32_t grid = kCoordRange >> level;  // cell size in grid units
+    const std::uint32_t cx = (c.x / grid) * grid;
+    const std::uint32_t cy = (c.y / grid) * grid;
+    const std::uint32_t cz = (c.z / grid) * grid;
+    const double h = cube_.max_side() / static_cast<double>(cells_per_side(level));
+    const Vec3d lo{cube_.lo.x + cx / inv_cell_, cube_.lo.y + cy / inv_cell_,
+                   cube_.lo.z + cz / inv_cell_};
+    return {lo, {lo.x + h, lo.y + h, lo.z + h}};
+  }
+
+ private:
+  AABB cube_{};
+  CurveType curve_ = CurveType::kHilbert;
+  double inv_cell_ = 0.0;
+};
+
+}  // namespace bonsai::sfc

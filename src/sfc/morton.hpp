@@ -1,0 +1,57 @@
+// 3-D Morton (Z-order) keys: 21 bits per dimension packed into a 63-bit key.
+// Provided both as a baseline for the Peano-Hilbert curve used in production
+// (the paper's decomposition, §III-B1) and for tests/benchmarks.
+#pragma once
+
+#include <cstdint>
+
+namespace bonsai::sfc {
+
+// Number of octree levels representable in a 64-bit key (3 bits per level).
+inline constexpr int kMaxLevel = 21;
+inline constexpr std::uint32_t kCoordRange = 1u << kMaxLevel;  // coords in [0, 2^21)
+
+namespace detail {
+
+// Spread the low 21 bits of v so that bit i moves to bit 3*i.
+constexpr std::uint64_t spread3(std::uint64_t v) {
+  v &= 0x1fffffULL;
+  v = (v | (v << 32)) & 0x1f00000000ffffULL;
+  v = (v | (v << 16)) & 0x1f0000ff0000ffULL;
+  v = (v | (v << 8)) & 0x100f00f00f00f00fULL;
+  v = (v | (v << 4)) & 0x10c30c30c30c30c3ULL;
+  v = (v | (v << 2)) & 0x1249249249249249ULL;
+  return v;
+}
+
+// Inverse of spread3: collect every third bit back into the low 21 bits.
+constexpr std::uint64_t compact3(std::uint64_t v) {
+  v &= 0x1249249249249249ULL;
+  v = (v ^ (v >> 2)) & 0x10c30c30c30c30c3ULL;
+  v = (v ^ (v >> 4)) & 0x100f00f00f00f00fULL;
+  v = (v ^ (v >> 8)) & 0x1f0000ff0000ffULL;
+  v = (v ^ (v >> 16)) & 0x1f00000000ffffULL;
+  v = (v ^ (v >> 32)) & 0x1fffffULL;
+  return v;
+}
+
+}  // namespace detail
+
+// Interleave (x, y, z) into a Morton key. x occupies the most significant bit
+// of each 3-bit group so the top 3L bits identify the level-L octree cell.
+constexpr std::uint64_t morton_encode(std::uint32_t x, std::uint32_t y, std::uint32_t z) {
+  return (detail::spread3(x) << 2) | (detail::spread3(y) << 1) | detail::spread3(z);
+}
+
+struct Coords {
+  std::uint32_t x, y, z;
+  friend constexpr bool operator==(const Coords&, const Coords&) = default;
+};
+
+constexpr Coords morton_decode(std::uint64_t key) {
+  return {static_cast<std::uint32_t>(detail::compact3(key >> 2)),
+          static_cast<std::uint32_t>(detail::compact3(key >> 1)),
+          static_cast<std::uint32_t>(detail::compact3(key))};
+}
+
+}  // namespace bonsai::sfc

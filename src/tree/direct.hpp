@@ -1,0 +1,27 @@
+// Direct O(N^2) force summation — the brute-force reference the tree code is
+// validated against, and the "Direct N-body" baseline of Fig. 1.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "tree/particle.hpp"
+#include "util/flops.hpp"
+
+namespace bonsai {
+
+// All-pairs forces within one set (self-interactions skipped).
+// Overwrites ax/ay/az/pot.
+InteractionStats direct_forces(ParticleSet& parts, double eps);
+
+// Forces exerted by `sources` on `targets` (accumulated, not overwritten).
+// The sets must be disjoint particle populations.
+InteractionStats direct_forces_between(const ParticleSet& sources, ParticleSet& targets,
+                                       double eps);
+
+// Forces on a subset of target indices only (for spot-check validation of
+// large systems without paying the full N^2).
+InteractionStats direct_forces_subset(ParticleSet& parts, double eps,
+                                      std::span<const std::uint32_t> target_indices);
+
+}  // namespace bonsai

@@ -1,0 +1,81 @@
+// Force kernels, matching §VI-A of the paper.
+//
+// Particle-particle (p-p), Plummer-softened monopole:
+//     phi_i -= m_j / sqrt(|r_ij|^2 + eps^2)
+//     a_i   += m_j r_ij / (|r_ij|^2 + eps^2)^{3/2}
+// counted as 23 flops (4 sub, 3 mul, 6 fma, 1 rsqrt @ 4 flops).
+//
+// Particle-cell (p-c) with quadrupole corrections, Eq. (1)-(2):
+//     phi_i = -m/r + (1/2) tr(Q)/r^3 - (3/2) (r^T Q r)/r^5
+//     a_i   =  m r/r^3 - (3/2) tr(Q) r/r^5 - 3 Q r/r^5 + (15/2)(r^T Q r) r/r^7
+// with r = r_j - r_i, counted as 65 flops.
+//
+// Kernels are templated so the performance paths can run in float (the
+// paper's single precision) and verification in double.
+#pragma once
+
+#include <cmath>
+
+#include "tree/multipole.hpp"
+#include "util/vec3.hpp"
+
+namespace bonsai {
+
+// Accumulator for one target particle.
+template <typename T>
+struct ForceAccum {
+  T ax{}, ay{}, az{}, pot{};
+};
+
+// One p-p interaction: source particle (sx,sy,sz,sm) acting on target at
+// (tx,ty,tz). eps2 is the squared Plummer softening length.
+template <typename T>
+inline void pp_kernel(T tx, T ty, T tz, T sx, T sy, T sz, T sm, T eps2,
+                      ForceAccum<T>& f) {
+  const T dx = sx - tx;  // r_ij = r_j - r_i
+  const T dy = sy - ty;
+  const T dz = sz - tz;
+  const T r2 = dx * dx + dy * dy + dz * dz + eps2;
+  const T rinv = T(1) / std::sqrt(r2);
+  const T rinv3 = rinv * rinv * rinv;
+  const T mr3 = sm * rinv3;
+  f.ax += mr3 * dx;
+  f.ay += mr3 * dy;
+  f.az += mr3 * dz;
+  f.pot -= sm * rinv;
+}
+
+// One p-c interaction with quadrupole corrections (double precision form used
+// by the traversal; a float mirror exists for the device benchmark kernels).
+inline void pc_kernel(const Vec3d& target, const Multipole& cell, double eps2,
+                      ForceAccum<double>& f) {
+  const Vec3d dr = cell.com - target;  // r = r_j - r_i
+  const double r2 = norm2(dr) + eps2;
+  const double rinv = 1.0 / std::sqrt(r2);
+  const double rinv2 = rinv * rinv;
+  const double rinv3 = rinv * rinv2;
+  const double rinv5 = rinv3 * rinv2;
+  const double rinv7 = rinv5 * rinv2;
+
+  const Vec3d Qr = cell.quad.mul(dr);
+  const double rQr = dot(dr, Qr);
+  const double trQ = cell.quad.trace();
+
+  f.pot += -cell.mass * rinv + 0.5 * trQ * rinv3 - 1.5 * rQr * rinv5;
+
+  const double scalar =
+      cell.mass * rinv3 - 1.5 * trQ * rinv5 + 7.5 * rQr * rinv7;
+  f.ax += scalar * dr.x - 3.0 * rinv5 * Qr.x;
+  f.ay += scalar * dr.y - 3.0 * rinv5 * Qr.y;
+  f.az += scalar * dr.z - 3.0 * rinv5 * Qr.z;
+}
+
+// Monopole-only p-c form (used to demonstrate the accuracy gain of the
+// quadrupole term in tests and the theta ablation).
+inline void pc_kernel_monopole(const Vec3d& target, const Multipole& cell, double eps2,
+                               ForceAccum<double>& f) {
+  pp_kernel<double>(target.x, target.y, target.z, cell.com.x, cell.com.y, cell.com.z,
+                    cell.mass, eps2, f);
+}
+
+}  // namespace bonsai

@@ -1,0 +1,66 @@
+// Multipole moments of tree cells: monopole (mass + centre of mass) and the
+// raw second-moment quadrupole tensor Q = sum_j m_j r_j r_j^T about the cell
+// COM, which is exactly the Q appearing in Eq. (1)-(2) of the paper.
+#pragma once
+
+#include <array>
+
+#include "util/vec3.hpp"
+
+namespace bonsai {
+
+// Symmetric 3x3 quadrupole tensor stored as 6 unique entries.
+struct Quadrupole {
+  // Order: xx, xy, xz, yy, yz, zz.
+  std::array<double, 6> q{};
+
+  double xx() const { return q[0]; }
+  double xy() const { return q[1]; }
+  double xz() const { return q[2]; }
+  double yy() const { return q[3]; }
+  double yz() const { return q[4]; }
+  double zz() const { return q[5]; }
+
+  double trace() const { return q[0] + q[3] + q[5]; }
+
+  // Matrix-vector product Q * v.
+  Vec3d mul(const Vec3d& v) const {
+    return {q[0] * v.x + q[1] * v.y + q[2] * v.z,
+            q[1] * v.x + q[3] * v.y + q[4] * v.z,
+            q[2] * v.x + q[4] * v.y + q[5] * v.z};
+  }
+
+  // Accumulate m * d d^T.
+  void add_outer(const Vec3d& d, double m) {
+    q[0] += m * d.x * d.x;
+    q[1] += m * d.x * d.y;
+    q[2] += m * d.x * d.z;
+    q[3] += m * d.y * d.y;
+    q[4] += m * d.y * d.z;
+    q[5] += m * d.z * d.z;
+  }
+
+  Quadrupole& operator+=(const Quadrupole& o) {
+    for (int i = 0; i < 6; ++i) q[i] += o.q[i];
+    return *this;
+  }
+};
+
+// Monopole + quadrupole of one cell.
+struct Multipole {
+  double mass = 0.0;
+  Vec3d com{};        // centre of mass
+  Quadrupole quad{};  // second moment about com
+
+  // Merge a child multipole whose moments are taken about child.com.
+  // Requires `com` and `mass` of *this* to be final before shifting, so the
+  // combine runs in two passes (accumulate mass/com, then shift quadrupoles);
+  // see combine() below.
+  void add_shifted(const Multipole& child) {
+    const Vec3d d = child.com - com;
+    quad += child.quad;
+    quad.add_outer(d, child.mass);
+  }
+};
+
+}  // namespace bonsai

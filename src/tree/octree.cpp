@@ -1,0 +1,144 @@
+#include "tree/octree.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace bonsai {
+
+namespace {
+
+// Children of the cell [key_begin, key_end) at `level` are the eight equal
+// key sub-ranges at level+1. Particle sub-ranges are located with
+// std::upper_bound over the sorted key array.
+struct BuildItem {
+  std::int32_t node;
+  std::uint8_t level;
+};
+
+}  // namespace
+
+void Octree::build(const ParticleSet& parts, int nleaf) {
+  BONSAI_CHECK(nleaf >= 1);
+  const std::size_t n = parts.size();
+  nodes_.clear();
+  num_leaves_ = 0;
+  max_depth_ = 0;
+
+  BONSAI_CHECK_MSG(std::is_sorted(parts.key.begin(), parts.key.end()),
+                   "particles must be SFC-sorted before tree construction");
+
+  TreeNode root;
+  root.key_begin = 0;
+  root.key_end = sfc::kKeyEnd;
+  root.part_begin = 0;
+  root.part_end = static_cast<std::uint32_t>(n);
+  root.level = 0;
+  root.kind = NodeKind::kParticleLeaf;
+  nodes_.push_back(root);
+  if (n == 0) return;
+
+  std::vector<BuildItem> stack;
+  stack.push_back({0, 0});
+
+  while (!stack.empty()) {
+    const BuildItem item = stack.back();
+    stack.pop_back();
+    // Copy the fields needed before nodes_ may reallocate.
+    const sfc::Key kb = nodes_[item.node].key_begin;
+    const std::uint32_t pb = nodes_[item.node].part_begin;
+    const std::uint32_t pe = nodes_[item.node].part_end;
+    const int level = item.level;
+    max_depth_ = std::max(max_depth_, level);
+
+    if (pe - pb <= static_cast<std::uint32_t>(nleaf) || level == sfc::kMaxLevel) {
+      ++num_leaves_;
+      continue;  // stays a ParticleLeaf
+    }
+
+    const sfc::Key child_span = sfc::cell_key_span(level + 1);
+    const auto first_child = static_cast<std::int32_t>(nodes_.size());
+    std::uint8_t created = 0;
+
+    std::uint32_t lo = pb;
+    for (unsigned oct = 0; oct < 8; ++oct) {
+      const sfc::Key child_end = kb + child_span * (oct + 1);
+      const auto it = std::upper_bound(parts.key.begin() + lo, parts.key.begin() + pe,
+                                       child_end - 1);
+      const auto hi = static_cast<std::uint32_t>(it - parts.key.begin());
+      if (hi > lo) {
+        TreeNode child;
+        child.key_begin = kb + child_span * oct;
+        child.key_end = child_end;
+        child.part_begin = lo;
+        child.part_end = hi;
+        child.level = static_cast<std::uint8_t>(level + 1);
+        child.kind = NodeKind::kParticleLeaf;
+        nodes_.push_back(child);
+        ++created;
+      }
+      lo = hi;
+    }
+    BONSAI_ASSERT(lo == pe);
+
+    nodes_[item.node].kind = NodeKind::kInternal;
+    nodes_[item.node].first_child = first_child;
+    nodes_[item.node].num_children = created;
+    for (std::uint8_t c = 0; c < created; ++c)
+      stack.push_back({first_child + c, static_cast<std::uint8_t>(level + 1)});
+  }
+}
+
+void Octree::compute_properties(const ParticleSet& parts, double theta) {
+  BONSAI_CHECK(theta > 0.0);
+  // Children always have larger indices than their parent (DFS pre-order
+  // construction), so a reverse sweep is a valid bottom-up pass.
+  for (auto it = nodes_.rbegin(); it != nodes_.rend(); ++it) {
+    TreeNode& node = *it;
+    node.box = AABB{};
+    node.mp = Multipole{};
+
+    if (node.is_leaf()) {
+      for (std::uint32_t i = node.part_begin; i < node.part_end; ++i) {
+        node.box.expand(parts.pos(i));
+        node.mp.mass += parts.mass[i];
+        node.mp.com += parts.mass[i] * parts.pos(i);
+      }
+      if (node.mp.mass > 0.0) node.mp.com /= node.mp.mass;
+      for (std::uint32_t i = node.part_begin; i < node.part_end; ++i)
+        node.mp.quad.add_outer(parts.pos(i) - node.mp.com, parts.mass[i]);
+    } else {
+      // Two-pass combine: monopole first, then quadrupoles shifted to the
+      // parent COM (parallel-axis theorem).
+      for (std::uint8_t c = 0; c < node.num_children; ++c) {
+        const TreeNode& ch = nodes_[node.first_child + c];
+        node.box.expand(ch.box);
+        node.mp.mass += ch.mp.mass;
+        node.mp.com += ch.mp.mass * ch.mp.com;
+      }
+      if (node.mp.mass > 0.0) node.mp.com /= node.mp.mass;
+      for (std::uint8_t c = 0; c < node.num_children; ++c)
+        node.mp.add_shifted(nodes_[node.first_child + c].mp);
+    }
+
+    if (node.count() > 0) {
+      const double l = node.box.max_side();
+      const double delta = norm(node.mp.com - node.box.center());
+      node.rcrit = l / theta + delta;
+    } else {
+      node.rcrit = 0.0;
+    }
+  }
+}
+
+void set_opening_angle(std::vector<TreeNode>& nodes, double theta) {
+  BONSAI_CHECK(theta > 0.0);
+  for (TreeNode& node : nodes) {
+    if (node.count() == 0) continue;
+    const double l = node.box.max_side();
+    const double delta = norm(node.mp.com - node.box.center());
+    node.rcrit = l / theta + delta;
+  }
+}
+
+}  // namespace bonsai

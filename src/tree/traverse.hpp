@@ -1,0 +1,61 @@
+// Group-based Barnes-Hut tree walk with on-the-fly force evaluation.
+//
+// Targets are processed in groups of consecutive (SFC-sorted) particles, the
+// CPU analogue of Bonsai's warp-cooperative CUDA kernel: one traversal is
+// shared by the whole group, with the multipole acceptance criterion (MAC)
+// evaluated against the group's bounding box. Accepted cells contribute
+// particle-cell interactions; opened leaves contribute particle-particle
+// interactions. Nothing is staged in memory — interactions are evaluated as
+// they are discovered, mirroring the register-resident interaction lists that
+// give Bonsai its single-GPU efficiency (§III-A).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tree/octree.hpp"
+#include "tree/particle.hpp"
+#include "util/flops.hpp"
+
+namespace bonsai {
+
+struct TraversalConfig {
+  double theta = 0.4;       // opening angle (paper production value, §IV)
+  double eps = 0.0;         // Plummer softening length
+  int ncrit = 64;           // max particles per target group
+  bool quadrupole = true;   // include quadrupole corrections in p-c kernels
+};
+
+// A contiguous range of target particles walked together.
+struct TargetGroup {
+  std::uint32_t begin = 0;
+  std::uint32_t end = 0;
+  AABB box;
+};
+
+// Partition [0, parts.size()) into groups of at most `ncrit` particles and
+// compute their bounding boxes. Particles should be SFC-sorted so groups are
+// spatially compact.
+std::vector<TargetGroup> make_groups(const ParticleSet& parts, int ncrit);
+
+// Walk `src` for every group, accumulating accelerations and potentials into
+// the target set. If `self` is true, `src` references the same particle
+// array as `targets` and exact self-interactions (same index) are skipped.
+// Returns the interaction counts for performance accounting.
+InteractionStats traverse_groups(const TreeView& src, ParticleSet& targets,
+                                 std::span<const TargetGroup> groups,
+                                 const TraversalConfig& config, bool self);
+
+// Single-group walk (the unit of work the device scheduler dispatches).
+InteractionStats traverse_one_group(const TreeView& src, ParticleSet& targets,
+                                    const TargetGroup& group,
+                                    const TraversalConfig& config, bool self);
+
+// Reference per-particle (non-grouped) walk; slower but with a per-particle
+// MAC, used in tests to bound the additional error of the group MAC.
+InteractionStats traverse_single(const TreeView& src, ParticleSet& targets,
+                                 std::uint32_t target_index,
+                                 const TraversalConfig& config, bool self);
+
+}  // namespace bonsai

@@ -1,0 +1,77 @@
+// Axis-aligned bounding boxes. Used for tree cells, particle groups, domain
+// geometry and the multipole acceptance criterion.
+#pragma once
+
+#include <algorithm>
+#include <limits>
+
+#include "util/vec3.hpp"
+
+namespace bonsai {
+
+struct AABB {
+  Vec3d lo{std::numeric_limits<double>::max(), std::numeric_limits<double>::max(),
+           std::numeric_limits<double>::max()};
+  Vec3d hi{std::numeric_limits<double>::lowest(), std::numeric_limits<double>::lowest(),
+           std::numeric_limits<double>::lowest()};
+
+  bool valid() const { return lo.x <= hi.x && lo.y <= hi.y && lo.z <= hi.z; }
+
+  void expand(const Vec3d& p) {
+    lo = min(lo, p);
+    hi = max(hi, p);
+  }
+
+  void expand(const AABB& b) {
+    lo = min(lo, b.lo);
+    hi = max(hi, b.hi);
+  }
+
+  Vec3d center() const { return (lo + hi) * 0.5; }
+  Vec3d size() const { return hi - lo; }
+
+  double max_side() const {
+    const Vec3d s = size();
+    return std::max({s.x, s.y, s.z});
+  }
+
+  bool contains(const Vec3d& p) const {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y && p.z >= lo.z &&
+           p.z <= hi.z;
+  }
+
+  bool overlaps(const AABB& b) const {
+    return lo.x <= b.hi.x && hi.x >= b.lo.x && lo.y <= b.hi.y && hi.y >= b.lo.y &&
+           lo.z <= b.hi.z && hi.z >= b.lo.z;
+  }
+
+  // Squared minimum distance from point p to this box (0 if inside).
+  double min_dist2(const Vec3d& p) const {
+    double d2 = 0.0;
+    for (int i = 0; i < 3; ++i) {
+      const double d = std::max({lo[i] - p[i], 0.0, p[i] - hi[i]});
+      d2 += d * d;
+    }
+    return d2;
+  }
+
+  // Squared minimum distance between this box and box b (0 if overlapping).
+  double min_dist2(const AABB& b) const {
+    double d2 = 0.0;
+    for (int i = 0; i < 3; ++i) {
+      const double d = std::max({lo[i] - b.hi[i], 0.0, b.lo[i] - hi[i]});
+      d2 += d * d;
+    }
+    return d2;
+  }
+
+  // Smallest cube with the same center that contains this box, inflated by
+  // `pad` on each side. Cubic key spaces keep SFC cells geometrically cubic.
+  AABB bounding_cube(double pad = 0.0) const {
+    const Vec3d c = center();
+    const double h = 0.5 * max_side() + pad;
+    return {{c.x - h, c.y - h, c.z - h}, {c.x + h, c.y + h, c.z + h}};
+  }
+};
+
+}  // namespace bonsai

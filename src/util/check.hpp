@@ -1,0 +1,39 @@
+// Lightweight runtime checks.
+//
+// BONSAI_CHECK is always on (invariants whose violation means corrupted
+// results); BONSAI_ASSERT compiles out in release builds (hot paths).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace bonsai::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": check failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace bonsai::detail
+
+#define BONSAI_CHECK(expr)                                                \
+  do {                                                                    \
+    if (!(expr)) ::bonsai::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define BONSAI_CHECK_MSG(expr, msg)                                       \
+  do {                                                                    \
+    if (!(expr)) ::bonsai::detail::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#ifdef NDEBUG
+#define BONSAI_ASSERT(expr) ((void)0)
+#else
+#define BONSAI_ASSERT(expr) BONSAI_CHECK(expr)
+#endif

@@ -1,0 +1,64 @@
+// Minimal command-line flag parser for the examples and benchmark drivers.
+// Supports --name=value and --name value forms plus boolean switches.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace bonsai {
+
+class CommandLine {
+ public:
+  CommandLine(int argc, const char* const* argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        positional_.push_back(std::move(arg));
+        continue;
+      }
+      arg.erase(0, 2);
+      const auto eq = arg.find('=');
+      if (eq != std::string::npos) {
+        flags_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        flags_[arg] = argv[++i];
+      } else {
+        flags_[arg] = "true";
+      }
+    }
+  }
+
+  bool has(const std::string& name) const { return flags_.count(name) != 0; }
+
+  std::string get(const std::string& name, const std::string& fallback) const {
+    auto it = flags_.find(name);
+    return it == flags_.end() ? fallback : it->second;
+  }
+
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const {
+    auto it = flags_.find(name);
+    return it == flags_.end() ? fallback : std::stoll(it->second);
+  }
+
+  double get_double(const std::string& name, double fallback) const {
+    auto it = flags_.find(name);
+    return it == flags_.end() ? fallback : std::stod(it->second);
+  }
+
+  bool get_bool(const std::string& name, bool fallback) const {
+    auto it = flags_.find(name);
+    if (it == flags_.end()) return fallback;
+    return it->second == "true" || it->second == "1" || it->second == "yes";
+  }
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace bonsai

@@ -1,0 +1,96 @@
+// 1-D and 2-D fixed-bin histograms used by the analysis module (surface
+// density maps, velocity-space "moving group" distributions of Fig. 3).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace bonsai {
+
+// Fixed-width 1-D histogram over [lo, hi); out-of-range samples are dropped.
+class Histogram1D {
+ public:
+  Histogram1D(double lo, double hi, std::size_t bins)
+      : lo_(lo), hi_(hi), counts_(bins, 0.0) {
+    BONSAI_CHECK(hi > lo);
+    BONSAI_CHECK(bins > 0);
+  }
+
+  void add(double x, double weight = 1.0) {
+    if (x < lo_ || x >= hi_) return;
+    const auto b = static_cast<std::size_t>((x - lo_) / (hi_ - lo_) *
+                                            static_cast<double>(counts_.size()));
+    counts_[std::min(b, counts_.size() - 1)] += weight;
+  }
+
+  std::size_t bins() const { return counts_.size(); }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  double bin_width() const { return (hi_ - lo_) / static_cast<double>(counts_.size()); }
+  double bin_center(std::size_t b) const { return lo_ + (static_cast<double>(b) + 0.5) * bin_width(); }
+  double count(std::size_t b) const { return counts_[b]; }
+  double total() const {
+    double t = 0.0;
+    for (double c : counts_) t += c;
+    return t;
+  }
+  std::size_t peak_bin() const {
+    return static_cast<std::size_t>(
+        std::max_element(counts_.begin(), counts_.end()) - counts_.begin());
+  }
+
+ private:
+  double lo_, hi_;
+  std::vector<double> counts_;
+};
+
+// Fixed-width 2-D histogram over [xlo,xhi) x [ylo,yhi).
+class Histogram2D {
+ public:
+  Histogram2D(double xlo, double xhi, std::size_t xbins,
+              double ylo, double yhi, std::size_t ybins)
+      : xlo_(xlo), xhi_(xhi), ylo_(ylo), yhi_(yhi),
+        xbins_(xbins), ybins_(ybins), counts_(xbins * ybins, 0.0) {
+    BONSAI_CHECK(xhi > xlo && yhi > ylo);
+    BONSAI_CHECK(xbins > 0 && ybins > 0);
+  }
+
+  void add(double x, double y, double weight = 1.0) {
+    if (x < xlo_ || x >= xhi_ || y < ylo_ || y >= yhi_) return;
+    const auto bx = std::min(static_cast<std::size_t>((x - xlo_) / (xhi_ - xlo_) *
+                                                      static_cast<double>(xbins_)),
+                             xbins_ - 1);
+    const auto by = std::min(static_cast<std::size_t>((y - ylo_) / (yhi_ - ylo_) *
+                                                      static_cast<double>(ybins_)),
+                             ybins_ - 1);
+    counts_[by * xbins_ + bx] += weight;
+  }
+
+  std::size_t xbins() const { return xbins_; }
+  std::size_t ybins() const { return ybins_; }
+  double count(std::size_t bx, std::size_t by) const { return counts_[by * xbins_ + bx]; }
+  double total() const {
+    double t = 0.0;
+    for (double c : counts_) t += c;
+    return t;
+  }
+  double max_count() const { return *std::max_element(counts_.begin(), counts_.end()); }
+
+  double x_center(std::size_t bx) const {
+    return xlo_ + (static_cast<double>(bx) + 0.5) * (xhi_ - xlo_) / static_cast<double>(xbins_);
+  }
+  double y_center(std::size_t by) const {
+    return ylo_ + (static_cast<double>(by) + 0.5) * (yhi_ - ylo_) / static_cast<double>(ybins_);
+  }
+
+ private:
+  double xlo_, xhi_, ylo_, yhi_;
+  std::size_t xbins_, ybins_;
+  std::vector<double> counts_;
+};
+
+}  // namespace bonsai

@@ -1,0 +1,99 @@
+// Deterministic, fast pseudo-random number generation.
+//
+// The Milky Way initial-condition generator must produce the *same* particle i
+// no matter which rank generates it ("generate on the fly", §IV of the paper),
+// so every sampler here is a pure function of an explicitly seeded engine.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+
+#include "util/vec3.hpp"
+
+namespace bonsai {
+
+// SplitMix64: used for seeding and for cheap per-id hashing.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// Stateless hash of a 64-bit value (e.g. a particle id) to a 64-bit value.
+constexpr std::uint64_t hash64(std::uint64_t v) {
+  std::uint64_t s = v;
+  return splitmix64(s);
+}
+
+// Xoshiro256++ PRNG: fast, high quality, trivially seedable from a single
+// 64-bit value via SplitMix64.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x853c49e6748fea9bULL) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform double in [0, 1).
+  double uniform() { return static_cast<double>((*this)() >> 11) * 0x1.0p-53; }
+
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  // Standard normal via Box-Muller (cached second value).
+  double gaussian() {
+    if (have_cached_) {
+      have_cached_ = false;
+      return cached_;
+    }
+    double u1 = uniform();
+    while (u1 <= 0.0) u1 = uniform();
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * std::numbers::pi * u2;
+    cached_ = r * std::sin(theta);
+    have_cached_ = true;
+    return r * std::cos(theta);
+  }
+
+  double gaussian(double mean, double sigma) { return mean + sigma * gaussian(); }
+
+  // Uniform point on the unit sphere.
+  Vec3d unit_sphere() {
+    const double z = uniform(-1.0, 1.0);
+    const double phi = uniform(0.0, 2.0 * std::numbers::pi);
+    const double r = std::sqrt(std::max(0.0, 1.0 - z * z));
+    return {r * std::cos(phi), r * std::sin(phi), z};
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t v, int k) {
+    return (v << k) | (v >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+  double cached_ = 0.0;
+  bool have_cached_ = false;
+};
+
+}  // namespace bonsai

@@ -1,0 +1,62 @@
+// Column-aligned plain-text table printer. The benchmark binaries use it to
+// emit the same rows/series the paper's tables and figures report.
+#pragma once
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace bonsai {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header) { rows_.push_back(std::move(header)); }
+
+  TextTable& add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+    return *this;
+  }
+
+  // Format a double with the given precision, trimming to a compact cell.
+  static std::string num(double v, int precision = 3) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+  }
+
+  static std::string sci(double v, int precision = 2) {
+    std::ostringstream os;
+    os << std::scientific << std::setprecision(precision) << v;
+    return os.str();
+  }
+
+  void print(std::ostream& os) const {
+    std::vector<std::size_t> width;
+    for (const auto& row : rows_) {
+      if (width.size() < row.size()) width.resize(row.size(), 0);
+      for (std::size_t c = 0; c < row.size(); ++c)
+        width[c] = std::max(width[c], row[c].size());
+    }
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      os << "| ";
+      for (std::size_t c = 0; c < width.size(); ++c) {
+        const std::string& cell = c < rows_[r].size() ? rows_[r][c] : std::string{};
+        os << std::left << std::setw(static_cast<int>(width[c])) << cell << " | ";
+      }
+      os << '\n';
+      if (r == 0) {
+        os << "|";
+        for (std::size_t c = 0; c < width.size(); ++c)
+          os << std::string(width[c] + 2, '-') << '|';
+        os << '\n';
+      }
+    }
+  }
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace bonsai

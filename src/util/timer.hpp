@@ -1,0 +1,97 @@
+// Wall-clock timing helpers and the named time-breakdown accumulator used to
+// reproduce the per-operation rows of Table II.
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace bonsai {
+
+// Simple monotonic wall-clock timer.
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  // Seconds elapsed since construction or last reset().
+  double elapsed() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+// Accumulates named timing buckets: breakdown.add("Tree-construction", dt).
+// Insertion order is preserved so tables print in pipeline order.
+class TimeBreakdown {
+ public:
+  void add(const std::string& name, double seconds) {
+    auto it = index_.find(name);
+    if (it == index_.end()) {
+      index_.emplace(name, entries_.size());
+      entries_.push_back({name, seconds});
+    } else {
+      entries_[it->second].seconds += seconds;
+    }
+  }
+
+  double get(const std::string& name) const {
+    auto it = index_.find(name);
+    return it == index_.end() ? 0.0 : entries_[it->second].seconds;
+  }
+
+  double total() const {
+    double t = 0.0;
+    for (const auto& e : entries_) t += e.seconds;
+    return t;
+  }
+
+  struct Entry {
+    std::string name;
+    double seconds;
+  };
+
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  void clear() {
+    entries_.clear();
+    index_.clear();
+  }
+
+  // Merge another breakdown into this one (summing shared buckets).
+  void merge(const TimeBreakdown& other) {
+    for (const auto& e : other.entries()) add(e.name, e.seconds);
+  }
+
+  // Scale all buckets (e.g. to average over steps).
+  void scale(double factor) {
+    for (auto& e : entries_) e.seconds *= factor;
+  }
+
+ private:
+  std::vector<Entry> entries_;
+  std::map<std::string, std::size_t> index_;
+};
+
+// RAII guard adding elapsed time into a breakdown bucket on destruction.
+class ScopedTimer {
+ public:
+  ScopedTimer(TimeBreakdown& breakdown, std::string name)
+      : breakdown_(breakdown), name_(std::move(name)) {}
+  ~ScopedTimer() { breakdown_.add(name_, timer_.elapsed()); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  TimeBreakdown& breakdown_;
+  std::string name_;
+  WallTimer timer_;
+};
+
+}  // namespace bonsai

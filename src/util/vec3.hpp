@@ -1,0 +1,79 @@
+// Small fixed-size 3-vector used throughout the tree code.
+//
+// Kept deliberately minimal: the force kernels operate on SoA arrays for
+// vectorization, Vec3 is the convenience type for everything else (bounding
+// boxes, centres of mass, diagnostics).
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <ostream>
+
+namespace bonsai {
+
+template <typename T>
+struct Vec3 {
+  T x{}, y{}, z{};
+
+  constexpr Vec3() = default;
+  constexpr Vec3(T x_, T y_, T z_) : x(x_), y(y_), z(z_) {}
+  constexpr explicit Vec3(T s) : x(s), y(s), z(s) {}
+
+  constexpr T& operator[](std::size_t i) { return (&x)[i]; }
+  constexpr const T& operator[](std::size_t i) const { return (&x)[i]; }
+
+  constexpr Vec3& operator+=(const Vec3& o) { x += o.x; y += o.y; z += o.z; return *this; }
+  constexpr Vec3& operator-=(const Vec3& o) { x -= o.x; y -= o.y; z -= o.z; return *this; }
+  constexpr Vec3& operator*=(T s) { x *= s; y *= s; z *= s; return *this; }
+  constexpr Vec3& operator/=(T s) { x /= s; y /= s; z /= s; return *this; }
+
+  friend constexpr Vec3 operator+(Vec3 a, const Vec3& b) { return a += b; }
+  friend constexpr Vec3 operator-(Vec3 a, const Vec3& b) { return a -= b; }
+  friend constexpr Vec3 operator*(Vec3 a, T s) { return a *= s; }
+  friend constexpr Vec3 operator*(T s, Vec3 a) { return a *= s; }
+  friend constexpr Vec3 operator/(Vec3 a, T s) { return a /= s; }
+  friend constexpr Vec3 operator-(const Vec3& a) { return {-a.x, -a.y, -a.z}; }
+
+  friend constexpr bool operator==(const Vec3& a, const Vec3& b) {
+    return a.x == b.x && a.y == b.y && a.z == b.z;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const Vec3& v) {
+    return os << '(' << v.x << ", " << v.y << ", " << v.z << ')';
+  }
+};
+
+template <typename T>
+constexpr T dot(const Vec3<T>& a, const Vec3<T>& b) {
+  return a.x * b.x + a.y * b.y + a.z * b.z;
+}
+
+template <typename T>
+constexpr Vec3<T> cross(const Vec3<T>& a, const Vec3<T>& b) {
+  return {a.y * b.z - a.z * b.y, a.z * b.x - a.x * b.z, a.x * b.y - a.y * b.x};
+}
+
+template <typename T>
+constexpr T norm2(const Vec3<T>& a) {
+  return dot(a, a);
+}
+
+template <typename T>
+T norm(const Vec3<T>& a) {
+  return std::sqrt(norm2(a));
+}
+
+template <typename T>
+constexpr Vec3<T> min(const Vec3<T>& a, const Vec3<T>& b) {
+  return {a.x < b.x ? a.x : b.x, a.y < b.y ? a.y : b.y, a.z < b.z ? a.z : b.z};
+}
+
+template <typename T>
+constexpr Vec3<T> max(const Vec3<T>& a, const Vec3<T>& b) {
+  return {a.x > b.x ? a.x : b.x, a.y > b.y ? a.y : b.y, a.z > b.z ? a.z : b.z};
+}
+
+using Vec3f = Vec3<float>;
+using Vec3d = Vec3<double>;
+
+}  // namespace bonsai

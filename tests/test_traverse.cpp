@@ -1,0 +1,356 @@
+// Accuracy and accounting of the Barnes-Hut tree walk against the direct
+// O(N^2) reference.
+#include "tree/traverse.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "tree/direct.hpp"
+#include "tree/kernels.hpp"
+#include "tree/octree.hpp"
+#include "util/random.hpp"
+#include "util/stats.hpp"
+
+namespace bonsai {
+namespace {
+
+ParticleSet clustered_cloud(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  ParticleSet parts;
+  parts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec3d dir = rng.unit_sphere();
+    const double r = rng.uniform() * rng.uniform();  // centrally concentrated
+    parts.add({dir * r, {0, 0, 0}, 1.0 / static_cast<double>(n), i});
+  }
+  return parts;
+}
+
+struct WalkSetup {
+  ParticleSet parts;
+  Octree tree;
+  std::vector<TargetGroup> groups;
+};
+
+WalkSetup make_setup(std::size_t n, std::uint64_t seed, double theta, int ncrit = 64,
+                 int nleaf = 16) {
+  WalkSetup s;
+  s.parts = clustered_cloud(n, seed);
+  sfc::KeySpace space(s.parts.bounds());
+  sort_by_keys(s.parts, space);
+  s.tree.build(s.parts, nleaf);
+  s.tree.compute_properties(s.parts, theta);
+  s.groups = make_groups(s.parts, ncrit);
+  return s;
+}
+
+// Median relative acceleration error of tree forces vs direct.
+double median_acc_error(const ParticleSet& tree_forces, const ParticleSet& reference) {
+  std::vector<double> err;
+  err.reserve(reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    const Vec3d at = tree_forces.acc(i);
+    const Vec3d ad = reference.acc(i);
+    err.push_back(norm(at - ad) / std::max(norm(ad), 1e-300));
+  }
+  return percentile(err, 0.5);
+}
+
+TEST(MakeGroups, SizesAndBoxes) {
+  WalkSetup s = make_setup(1000, 211, 0.4, 64);
+  std::uint32_t covered = 0;
+  for (const TargetGroup& g : s.groups) {
+    EXPECT_LE(g.end - g.begin, 64u);
+    covered += g.end - g.begin;
+    for (std::uint32_t i = g.begin; i < g.end; ++i)
+      ASSERT_TRUE(g.box.contains(s.parts.pos(i)));
+  }
+  EXPECT_EQ(covered, s.parts.size());
+  EXPECT_EQ(s.groups.size(), (1000 + 63) / 64u);
+}
+
+TEST(Traverse, TinyThetaReproducesDirectExactly) {
+  // With an (effectively) zero opening angle the MAC never accepts, the walk
+  // degenerates to all-pairs p-p, and results match direct summation to
+  // floating-point roundoff (identical kernel, different summation order).
+  WalkSetup s = make_setup(500, 223, 1e-9);
+  TraversalConfig cfg;
+  cfg.theta = 1e-9;
+  cfg.eps = 0.01;
+  s.parts.zero_forces();
+  const InteractionStats stats =
+      traverse_groups(s.tree.view(s.parts), s.parts, s.groups, cfg, /*self=*/true);
+  // Multi-particle cells always have a finite box, hence an enormous rcrit at
+  // theta ~ 0, and are always opened. Single-particle cells have rcrit = 0 and
+  // may be accepted, which is *exact* (point mass, Q = 0), so each of the
+  // N(N-1) ordered pairs is evaluated exactly once, as p-p or point p-c.
+  EXPECT_EQ(stats.p2p + stats.p2c, 500u * 499u);
+
+  ParticleSet ref = s.parts;
+  direct_forces(ref, cfg.eps);
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    ASSERT_NEAR(norm(s.parts.acc(i) - ref.acc(i)), 0.0, 1e-11 * std::max(1.0, norm(ref.acc(i))));
+    ASSERT_NEAR(s.parts.pot[i], ref.pot[i], 1e-11 * std::abs(ref.pot[i]));
+  }
+}
+
+class ThetaAccuracyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ThetaAccuracyTest, ForceErrorBounded) {
+  const double theta = GetParam();
+  WalkSetup s = make_setup(3000, 227, theta);
+  TraversalConfig cfg;
+  cfg.theta = theta;
+  cfg.eps = 1e-3;
+  s.parts.zero_forces();
+  traverse_groups(s.tree.view(s.parts), s.parts, s.groups, cfg, true);
+
+  ParticleSet ref = s.parts;
+  direct_forces(ref, cfg.eps);
+  const double med = median_acc_error(s.parts, ref);
+  // Empirical Barnes-Hut + quadrupole error envelopes (generous bounds).
+  const double bound = theta <= 0.3 ? 2e-5 : theta <= 0.5 ? 2e-4 : 2e-3;
+  EXPECT_LT(med, bound) << "theta=" << theta;
+}
+
+INSTANTIATE_TEST_SUITE_P(OpeningAngles, ThetaAccuracyTest,
+                         ::testing::Values(0.2, 0.4, 0.6, 0.8));
+
+TEST(Traverse, ErrorGrowsWithTheta) {
+  std::vector<double> med;
+  for (double theta : {0.2, 0.5, 0.9}) {
+    WalkSetup s = make_setup(2000, 229, theta);
+    TraversalConfig cfg;
+    cfg.theta = theta;
+    cfg.eps = 1e-3;
+    s.parts.zero_forces();
+    traverse_groups(s.tree.view(s.parts), s.parts, s.groups, cfg, true);
+    ParticleSet ref = s.parts;
+    direct_forces(ref, cfg.eps);
+    med.push_back(median_acc_error(s.parts, ref));
+  }
+  EXPECT_LT(med[0], med[1]);
+  EXPECT_LT(med[1], med[2]);
+}
+
+TEST(Traverse, QuadrupoleBeatsMonopole) {
+  WalkSetup s = make_setup(2000, 233, 0.6);
+  TraversalConfig cfg;
+  cfg.theta = 0.6;
+  cfg.eps = 1e-3;
+
+  ParticleSet with_quad = s.parts;
+  with_quad.zero_forces();
+  traverse_groups(s.tree.view(with_quad), with_quad, s.groups, cfg, true);
+
+  cfg.quadrupole = false;
+  ParticleSet mono = s.parts;
+  mono.zero_forces();
+  traverse_groups(s.tree.view(mono), mono, s.groups, cfg, true);
+
+  ParticleSet ref = s.parts;
+  direct_forces(ref, cfg.eps);
+
+  const double err_quad = median_acc_error(with_quad, ref);
+  const double err_mono = median_acc_error(mono, ref);
+  EXPECT_LT(err_quad, err_mono * 0.5)
+      << "quadrupole should substantially reduce the error";
+}
+
+TEST(Traverse, WorkGrowsAsThetaShrinks) {
+  // §IV: calculation cost grows roughly as theta^-3. Halving theta must
+  // increase the evaluated work substantially (we assert a soft 1.5x to stay
+  // robust across tree shapes; the theta ablation bench fits the exponent).
+  std::vector<std::uint64_t> flops;
+  for (double theta : {0.8, 0.4, 0.2}) {
+    WalkSetup s = make_setup(8000, 239, theta);
+    TraversalConfig cfg;
+    cfg.theta = theta;
+    cfg.eps = 1e-3;
+    s.parts.zero_forces();
+    const auto stats = traverse_groups(s.tree.view(s.parts), s.parts, s.groups, cfg, true);
+    flops.push_back(stats.flops());
+  }
+  EXPECT_GT(flops[1], static_cast<std::uint64_t>(1.5 * static_cast<double>(flops[0])));
+  // At N = 8000 the theta = 0.2 walk approaches the all-pairs bound, so the
+  // second halving shows compressed growth.
+  EXPECT_GT(flops[2], static_cast<std::uint64_t>(1.25 * static_cast<double>(flops[1])));
+}
+
+TEST(Traverse, GroupAndSingleWalksAgree) {
+  // The group MAC is more conservative in aggregate but both walks must stay
+  // within the theta error envelope of each other.
+  WalkSetup s = make_setup(1500, 241, 0.4);
+  TraversalConfig cfg;
+  cfg.theta = 0.4;
+  cfg.eps = 1e-3;
+
+  ParticleSet grouped = s.parts;
+  grouped.zero_forces();
+  traverse_groups(s.tree.view(grouped), grouped, s.groups, cfg, true);
+
+  ParticleSet single = s.parts;
+  single.zero_forces();
+  for (std::uint32_t i = 0; i < single.size(); ++i)
+    traverse_single(s.tree.view(single), single, i, cfg, true);
+
+  RunningStats rel;
+  for (std::size_t i = 0; i < grouped.size(); ++i) {
+    const double d = norm(grouped.acc(i) - single.acc(i));
+    rel.add(d / std::max(norm(single.acc(i)), 1e-300));
+  }
+  EXPECT_LT(rel.mean(), 5e-4);
+}
+
+TEST(Traverse, SelfPotentialExcluded) {
+  // Potential must not include the self-term -m_i/eps.
+  ParticleSet parts;
+  parts.add({{0.0, 0.0, 0.0}, {0, 0, 0}, 1.0, 0});
+  parts.add({{1.0, 0.0, 0.0}, {0, 0, 0}, 1.0, 1});
+  sfc::KeySpace space(parts.bounds());
+  sort_by_keys(parts, space);
+  Octree tree;
+  tree.build(parts);
+  tree.compute_properties(parts, 0.4);
+  TraversalConfig cfg;
+  cfg.theta = 0.4;
+  cfg.eps = 0.1;
+  parts.zero_forces();
+  auto groups = make_groups(parts, 64);
+  traverse_groups(tree.view(parts), parts, groups, cfg, true);
+  const double expected = -1.0 / std::sqrt(1.0 + 0.01);
+  EXPECT_NEAR(parts.pot[0], expected, 1e-12);
+  EXPECT_NEAR(parts.pot[1], expected, 1e-12);
+}
+
+TEST(Traverse, DisjointSourceNeedsNoSelfSkip) {
+  // Forces from a remote set (the LET use case): traversal of a source tree
+  // over different targets must equal direct source->target summation within
+  // the MAC error envelope.
+  ParticleSet sources = clustered_cloud(2000, 251);
+  for (std::size_t i = 0; i < sources.size(); ++i)
+    sources.x[i] += 10.0;  // displace the source cloud
+
+  ParticleSet targets = clustered_cloud(500, 257);
+
+  sfc::KeySpace space(sources.bounds());
+  sort_by_keys(sources, space);
+  Octree tree;
+  tree.build(sources, 16);
+  tree.compute_properties(sources, 0.4);
+
+  TraversalConfig cfg;
+  cfg.theta = 0.4;
+  cfg.eps = 0.0;
+  targets.zero_forces();
+  auto groups = make_groups(targets, 64);
+  traverse_groups(tree.view(sources), targets, groups, cfg, /*self=*/false);
+
+  ParticleSet ref = targets;
+  ref.zero_forces();
+  direct_forces_between(sources, ref, cfg.eps);
+
+  EXPECT_LT(median_acc_error(targets, ref), 2e-4);
+}
+
+TEST(Traverse, EmptySourcesAndTargets) {
+  ParticleSet empty;
+  sfc::KeySpace space(AABB{{0, 0, 0}, {1, 1, 1}});
+  Octree tree;
+  tree.build(empty);
+  tree.compute_properties(empty, 0.4);
+
+  ParticleSet targets = clustered_cloud(10, 263);
+  targets.zero_forces();
+  auto groups = make_groups(targets, 64);
+  const auto stats = traverse_groups(tree.view(empty), targets, groups, TraversalConfig{}, false);
+  EXPECT_EQ(stats.p2p + stats.p2c, 0u);
+  for (std::size_t i = 0; i < targets.size(); ++i)
+    EXPECT_DOUBLE_EQ(norm(targets.acc(i)), 0.0);
+
+  // Empty target set is a no-op as well.
+  ParticleSet no_targets;
+  auto no_groups = make_groups(no_targets, 64);
+  EXPECT_TRUE(no_groups.empty());
+}
+
+TEST(Traverse, PPKernelFloatAndDoubleAgree) {
+  ForceAccum<double> fd{};
+  ForceAccum<float> ff{};
+  pp_kernel<double>(0.0, 0.0, 0.0, 1.0, 2.0, 3.0, 1.5, 0.01, fd);
+  pp_kernel<float>(0.0f, 0.0f, 0.0f, 1.0f, 2.0f, 3.0f, 1.5f, 0.01f, ff);
+  EXPECT_NEAR(fd.ax, static_cast<double>(ff.ax), 1e-6);
+  EXPECT_NEAR(fd.pot, static_cast<double>(ff.pot), 1e-6);
+}
+
+TEST(Traverse, PCKernelMatchesPointMass) {
+  // A cell whose quadrupole vanishes must reduce exactly to the p-p kernel.
+  Multipole cell;
+  cell.mass = 2.0;
+  cell.com = {3.0, -1.0, 2.0};
+  ForceAccum<double> fc{}, fp{};
+  pc_kernel({0.5, 0.5, 0.5}, cell, 0.0, fc);
+  pp_kernel<double>(0.5, 0.5, 0.5, 3.0, -1.0, 2.0, 2.0, 0.0, fp);
+  EXPECT_NEAR(fc.ax, fp.ax, 1e-14);
+  EXPECT_NEAR(fc.ay, fp.ay, 1e-14);
+  EXPECT_NEAR(fc.az, fp.az, 1e-14);
+  EXPECT_NEAR(fc.pot, fp.pot, 1e-14);
+}
+
+TEST(Traverse, PCKernelConvergesToDirectSumWithDistance) {
+  // Multipole error of a fixed cluster must fall rapidly with distance
+  // (remaining error is the neglected octupole, O(r^-4) in acceleration).
+  Xoshiro256 rng(269);
+  ParticleSet cluster;
+  for (int i = 0; i < 200; ++i)
+    cluster.add({rng.unit_sphere() * rng.uniform(), {0, 0, 0}, 1.0, static_cast<std::uint64_t>(i)});
+
+  Multipole mp;
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    mp.mass += cluster.mass[i];
+    mp.com += cluster.mass[i] * cluster.pos(i);
+  }
+  mp.com /= mp.mass;
+  for (std::size_t i = 0; i < cluster.size(); ++i)
+    mp.quad.add_outer(cluster.pos(i) - mp.com, cluster.mass[i]);
+
+  double prev_err = 1e300;
+  for (double dist : {4.0, 8.0, 16.0, 32.0}) {
+    const Vec3d target{dist, 0.3, -0.2};
+    ForceAccum<double> approx{};
+    pc_kernel(target, mp, 0.0, approx);
+    ParticleSet probe;
+    probe.add({target, {0, 0, 0}, 1.0, 0});
+    probe.zero_forces();
+    direct_forces_between(cluster, probe, 0.0);
+    const double err = norm(Vec3d{approx.ax, approx.ay, approx.az} - probe.acc(0)) /
+                       norm(probe.acc(0));
+    EXPECT_LT(err, prev_err * 0.3) << "at distance " << dist;
+    prev_err = err;
+  }
+}
+
+TEST(Direct, SubsetMatchesFull) {
+  ParticleSet parts = clustered_cloud(400, 271);
+  ParticleSet full = parts;
+  direct_forces(full, 1e-3);
+  std::vector<std::uint32_t> subset{0, 17, 399, 200};
+  direct_forces_subset(parts, 1e-3, subset);
+  for (std::uint32_t i : subset) {
+    EXPECT_DOUBLE_EQ(parts.ax[i], full.ax[i]);
+    EXPECT_DOUBLE_EQ(parts.pot[i], full.pot[i]);
+  }
+}
+
+TEST(Direct, NewtonThirdLawMomentumConservation) {
+  ParticleSet parts = clustered_cloud(300, 277);
+  direct_forces(parts, 1e-2);
+  Vec3d net{};
+  for (std::size_t i = 0; i < parts.size(); ++i) net += parts.mass[i] * parts.acc(i);
+  EXPECT_NEAR(norm(net), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace bonsai

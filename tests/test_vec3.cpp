@@ -1,0 +1,99 @@
+#include "util/vec3.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/aabb.hpp"
+
+namespace bonsai {
+namespace {
+
+TEST(Vec3, ArithmeticBasics) {
+  const Vec3d a{1.0, 2.0, 3.0};
+  const Vec3d b{-4.0, 5.0, 0.5};
+  EXPECT_EQ(a + b, Vec3d(-3.0, 7.0, 3.5));
+  EXPECT_EQ(a - b, Vec3d(5.0, -3.0, 2.5));
+  EXPECT_EQ(a * 2.0, Vec3d(2.0, 4.0, 6.0));
+  EXPECT_EQ(2.0 * a, a * 2.0);
+  EXPECT_EQ(a / 2.0, Vec3d(0.5, 1.0, 1.5));
+  EXPECT_EQ(-a, Vec3d(-1.0, -2.0, -3.0));
+}
+
+TEST(Vec3, CompoundAssignment) {
+  Vec3d v{1.0, 1.0, 1.0};
+  v += Vec3d{1.0, 2.0, 3.0};
+  v *= 2.0;
+  v -= Vec3d{0.0, 0.0, 8.0};
+  v /= 2.0;
+  EXPECT_EQ(v, Vec3d(2.0, 3.0, 0.0));
+}
+
+TEST(Vec3, DotCrossNorm) {
+  const Vec3d x{1.0, 0.0, 0.0};
+  const Vec3d y{0.0, 1.0, 0.0};
+  EXPECT_DOUBLE_EQ(dot(x, y), 0.0);
+  EXPECT_EQ(cross(x, y), Vec3d(0.0, 0.0, 1.0));
+  const Vec3d v{3.0, 4.0, 12.0};
+  EXPECT_DOUBLE_EQ(norm2(v), 169.0);
+  EXPECT_DOUBLE_EQ(norm(v), 13.0);
+}
+
+TEST(Vec3, IndexingMatchesMembers) {
+  Vec3d v{7.0, 8.0, 9.0};
+  EXPECT_DOUBLE_EQ(v[0], 7.0);
+  EXPECT_DOUBLE_EQ(v[1], 8.0);
+  EXPECT_DOUBLE_EQ(v[2], 9.0);
+  v[2] = -1.0;
+  EXPECT_DOUBLE_EQ(v.z, -1.0);
+}
+
+TEST(Vec3, MinMaxComponentwise) {
+  const Vec3d a{1.0, 5.0, -2.0};
+  const Vec3d b{0.0, 7.0, -1.0};
+  EXPECT_EQ(min(a, b), Vec3d(0.0, 5.0, -2.0));
+  EXPECT_EQ(max(a, b), Vec3d(1.0, 7.0, -1.0));
+}
+
+TEST(AABB, ExpandAndContain) {
+  AABB box;
+  EXPECT_FALSE(box.valid());
+  box.expand(Vec3d{0.0, 0.0, 0.0});
+  box.expand(Vec3d{1.0, 2.0, 3.0});
+  EXPECT_TRUE(box.valid());
+  EXPECT_TRUE(box.contains(Vec3d{0.5, 1.0, 1.5}));
+  EXPECT_FALSE(box.contains(Vec3d{1.5, 1.0, 1.5}));
+  EXPECT_EQ(box.center(), Vec3d(0.5, 1.0, 1.5));
+  EXPECT_DOUBLE_EQ(box.max_side(), 3.0);
+}
+
+TEST(AABB, MinDistToPoint) {
+  AABB box{{0.0, 0.0, 0.0}, {1.0, 1.0, 1.0}};
+  EXPECT_DOUBLE_EQ(box.min_dist2(Vec3d{0.5, 0.5, 0.5}), 0.0);      // inside
+  EXPECT_DOUBLE_EQ(box.min_dist2(Vec3d{2.0, 0.5, 0.5}), 1.0);      // face
+  EXPECT_DOUBLE_EQ(box.min_dist2(Vec3d{2.0, 2.0, 0.5}), 2.0);      // edge
+  EXPECT_DOUBLE_EQ(box.min_dist2(Vec3d{2.0, 2.0, 2.0}), 3.0);      // corner
+  EXPECT_DOUBLE_EQ(box.min_dist2(Vec3d{-1.0, 0.5, 0.5}), 1.0);
+}
+
+TEST(AABB, MinDistBoxToBox) {
+  AABB a{{0.0, 0.0, 0.0}, {1.0, 1.0, 1.0}};
+  AABB overlapping{{0.5, 0.5, 0.5}, {2.0, 2.0, 2.0}};
+  EXPECT_DOUBLE_EQ(a.min_dist2(overlapping), 0.0);
+  EXPECT_TRUE(a.overlaps(overlapping));
+  AABB apart{{3.0, 0.0, 0.0}, {4.0, 1.0, 1.0}};
+  EXPECT_DOUBLE_EQ(a.min_dist2(apart), 4.0);
+  EXPECT_FALSE(a.overlaps(apart));
+}
+
+TEST(AABB, BoundingCubeIsCubicAndContains) {
+  AABB thin{{0.0, 0.0, 0.0}, {8.0, 2.0, 1.0}};
+  const AABB cube = thin.bounding_cube();
+  const Vec3d s = cube.size();
+  EXPECT_DOUBLE_EQ(s.x, s.y);
+  EXPECT_DOUBLE_EQ(s.y, s.z);
+  EXPECT_TRUE(cube.contains(thin.lo));
+  EXPECT_TRUE(cube.contains(thin.hi));
+  EXPECT_EQ(cube.center(), thin.center());
+}
+
+}  // namespace
+}  // namespace bonsai
