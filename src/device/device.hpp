@@ -6,9 +6,9 @@
 // orchestration. Device reproduces that architecture on host threads: it owns
 // a worker pool (the "SMs"), dispatches target groups the way Bonsai
 // dispatches warps, and is the only component allowed to touch particle data
-// during a step. The calibrated GpuPerfModel (gpu_perf_model.hpp) converts
-// the operation counts this device records into modelled K20X/C2075 kernel
-// times for the paper-scale benchmarks.
+// during a step. The interaction counts it records feed the flops accounting
+// in util/flops.hpp, the same force-only convention the paper's performance
+// numbers use (§VI-A).
 #pragma once
 
 #include <cstdint>

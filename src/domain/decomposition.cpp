@@ -1,0 +1,109 @@
+#include "domain/decomposition.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace bonsai::domain {
+
+Decomposition Decomposition::uniform(int nranks) {
+  BONSAI_CHECK(nranks >= 1);
+  std::vector<sfc::Key> bounds;
+  bounds.reserve(static_cast<std::size_t>(nranks) + 1);
+  const sfc::Key span = sfc::kKeyEnd / static_cast<sfc::Key>(nranks);
+  for (int r = 0; r < nranks; ++r) bounds.push_back(span * static_cast<sfc::Key>(r));
+  bounds.push_back(sfc::kKeyEnd);
+  return from_boundaries(std::move(bounds));
+}
+
+Decomposition Decomposition::from_boundaries(std::vector<sfc::Key> bounds) {
+  BONSAI_CHECK(bounds.size() >= 2);
+  BONSAI_CHECK(bounds.front() == 0 && bounds.back() == sfc::kKeyEnd);
+  BONSAI_CHECK_MSG(std::is_sorted(bounds.begin(), bounds.end()),
+                   "domain boundaries must be monotone");
+  Decomposition d;
+  d.bounds_ = std::move(bounds);
+  return d;
+}
+
+Decomposition Decomposition::from_samples(std::vector<sfc::Key> samples, int nranks,
+                                          int snap_level) {
+  BONSAI_CHECK(nranks >= 1);
+  BONSAI_CHECK(snap_level >= 0 && snap_level <= sfc::kMaxLevel);
+  if (samples.empty() || nranks == 1) return uniform(nranks);
+
+  std::sort(samples.begin(), samples.end());
+  std::vector<sfc::Key> bounds;
+  bounds.reserve(static_cast<std::size_t>(nranks) + 1);
+  bounds.push_back(0);
+  for (int r = 1; r < nranks; ++r) {
+    const std::size_t idx = (static_cast<std::size_t>(r) * samples.size()) /
+                            static_cast<std::size_t>(nranks);
+    sfc::Key b = samples[idx];
+    if (snap_level > 0) b = sfc::cell_first_key(b, snap_level);
+    // Duplicate samples (or aggressive snapping) may produce non-monotone
+    // cuts; clamping keeps the partition valid at the cost of empty ranks.
+    b = std::max(b, bounds.back());
+    bounds.push_back(b);
+  }
+  bounds.push_back(sfc::kKeyEnd);
+  return from_boundaries(std::move(bounds));
+}
+
+int Decomposition::rank_of(sfc::Key key) const {
+  BONSAI_ASSERT(key < sfc::kKeyEnd);
+  // Count interior boundaries <= key; bounds_ = {0, b_1, ..., b_{n-1}, end}.
+  const auto first = bounds_.begin() + 1;
+  const auto last = bounds_.end() - 1;
+  return static_cast<int>(std::upper_bound(first, last, key) - first);
+}
+
+std::vector<sfc::Key> sample_keys(const ParticleSet& parts, const sfc::KeySpace& space,
+                                  std::size_t stride) {
+  BONSAI_CHECK(stride >= 1);
+  std::vector<sfc::Key> samples;
+  const std::size_t n = parts.size();
+  if (n == 0) return samples;
+  samples.reserve((n + stride - 1) / stride);
+  for (std::size_t i = 0; i < n; i += stride) samples.push_back(space.key(parts.pos(i)));
+  return samples;
+}
+
+ExchangeStats exchange(std::vector<ParticleSet>& rank_parts, const sfc::KeySpace& space,
+                       const Decomposition& decomp) {
+  BONSAI_CHECK(static_cast<int>(rank_parts.size()) == decomp.num_ranks());
+  const auto nranks = static_cast<std::size_t>(decomp.num_ranks());
+
+  // Counting pre-pass (the alltoallv handshake): compute each particle's key
+  // and owner once, so destinations can reserve before any copy happens.
+  ExchangeStats stats;
+  std::vector<std::vector<int>> dest(nranks);
+  std::vector<std::size_t> counts(nranks, 0);
+  for (std::size_t r = 0; r < nranks; ++r) {
+    ParticleSet& parts = rank_parts[r];
+    dest[r].resize(parts.size());
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+      parts.key[i] = space.key(parts.pos(i));
+      const int d = decomp.rank_of(parts.key[i]);
+      dest[r][i] = d;
+      ++counts[static_cast<std::size_t>(d)];
+      if (d != static_cast<int>(r)) ++stats.migrated;
+    }
+  }
+
+  std::vector<ParticleSet> incoming(nranks);
+  for (std::size_t d = 0; d < nranks; ++d) incoming[d].reserve(counts[d]);
+  for (std::size_t r = 0; r < nranks; ++r) {
+    const ParticleSet& parts = rank_parts[r];
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+      ParticleSet& in = incoming[static_cast<std::size_t>(dest[r][i])];
+      in.add(parts.get(i));
+      in.key.back() = parts.key[i];
+    }
+  }
+  for (const ParticleSet& in : incoming) stats.total += in.size();
+  rank_parts.swap(incoming);
+  return stats;
+}
+
+}  // namespace bonsai::domain

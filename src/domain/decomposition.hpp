@@ -1,0 +1,83 @@
+// Hilbert-key domain decomposition (§III-B1 of the paper).
+//
+// The global SFC key range [0, kKeyEnd) is cut into one contiguous interval
+// per rank. Because keys order particles along the Peano-Hilbert curve, each
+// interval is a geometrically compact region, and — when boundaries are
+// snapped to octree-cell key boundaries — a union of branches of the global
+// octree. Boundaries are chosen from *sampled* particle keys, the paper's
+// low-cost alternative to a full parallel sort of all keys: every rank
+// contributes a stride-sample of its keys, the samples are sorted, and the
+// N-quantiles become the new boundaries.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sfc/keys.hpp"
+#include "tree/particle.hpp"
+
+namespace bonsai::domain {
+
+// A partition of the SFC key space into contiguous per-rank intervals.
+// Rank r owns keys in [boundaries()[r], boundaries()[r+1]).
+class Decomposition {
+ public:
+  // Snapping boundaries to level-8 cells keeps domains unions of octree
+  // branches without visibly perturbing the sampled balance (2^24 cells).
+  static constexpr int kDefaultSnapLevel = 8;
+
+  // Single rank owning the whole key space.
+  Decomposition() = default;
+
+  // Equal key intervals (the load-oblivious baseline; poor balance for
+  // clustered distributions, useful for bootstrapping and tests).
+  static Decomposition uniform(int nranks);
+
+  // Explicit interior boundaries; `bounds` must be the full monotone vector
+  // {0, b_1, ..., b_{n-1}, kKeyEnd}.
+  static Decomposition from_boundaries(std::vector<sfc::Key> bounds);
+
+  // Equalized-count boundaries from sampled keys: sort the samples and cut at
+  // the rank quantiles, optionally snapping each boundary down to the first
+  // key of its level-`snap_level` cell. Falls back to uniform() when no
+  // samples are available.
+  static Decomposition from_samples(std::vector<sfc::Key> samples, int nranks,
+                                    int snap_level = kDefaultSnapLevel);
+
+  int num_ranks() const { return static_cast<int>(bounds_.size()) - 1; }
+
+  // Owner rank of a key (keys are always < kKeyEnd).
+  int rank_of(sfc::Key key) const;
+
+  sfc::Key begin_key(int rank) const { return bounds_[static_cast<std::size_t>(rank)]; }
+  sfc::Key end_key(int rank) const { return bounds_[static_cast<std::size_t>(rank) + 1]; }
+
+  std::span<const sfc::Key> boundaries() const { return bounds_; }
+
+ private:
+  std::vector<sfc::Key> bounds_{0, sfc::kKeyEnd};
+};
+
+// Deterministic sample of every `stride`-th particle key, computed through
+// `space` (does not require the set to be sorted or keyed already). The
+// stride must be shared by all ranks: pooled samples are then uniformly
+// weighted per *particle*, so sample quantiles estimate population quantiles
+// even when rank sizes differ.
+std::vector<sfc::Key> sample_keys(const ParticleSet& parts, const sfc::KeySpace& space,
+                                  std::size_t stride);
+
+struct ExchangeStats {
+  std::uint64_t total = 0;     // particles across all ranks after the exchange
+  std::uint64_t migrated = 0;  // particles that changed owner rank
+};
+
+// Migrate every particle to its owner rank: the in-process analogue of the
+// MPI alltoallv of §III-B1. `rank_parts[r]` is rank r's population before and
+// after; positions, velocities, masses and ids are moved bit-for-bit, forces
+// are reset (they are recomputed each step), and each particle's `key` field
+// is left holding its freshly computed SFC key.
+ExchangeStats exchange(std::vector<ParticleSet>& rank_parts, const sfc::KeySpace& space,
+                       const Decomposition& decomp);
+
+}  // namespace bonsai::domain

@@ -1,0 +1,50 @@
+#include "domain/rank.hpp"
+
+namespace bonsai::domain {
+
+void Rank::build(const sfc::KeySpace& space, const SimConfig& cfg, TimeBreakdown& times) {
+  {
+    ScopedTimer t(times, "Sorting SFC");
+    device_.sort_particles(parts_, space);
+  }
+  {
+    ScopedTimer t(times, "Tree-construction");
+    device_.build_tree(parts_, tree_, cfg.nleaf);
+  }
+  {
+    ScopedTimer t(times, "Tree-properties");
+    device_.compute_properties(parts_, tree_, cfg.theta);
+    groups_ = make_groups(parts_, cfg.ncrit);
+  }
+  box_ = parts_.empty() ? AABB{} : tree_.root().box;
+}
+
+InteractionStats Rank::gravity_local(const SimConfig& cfg, TimeBreakdown& times) {
+  ScopedTimer t(times, "Gravity local");
+  if (parts_.empty()) return {};
+  return device_.compute_forces(tree_.view(parts_), parts_, groups_, cfg.traversal(),
+                                /*self=*/true);
+}
+
+InteractionStats Rank::gravity_remote(const TreeView& forest, const SimConfig& cfg,
+                                      TimeBreakdown& times) {
+  ScopedTimer t(times, "Gravity remote");
+  if (parts_.empty() || forest.empty()) return {};
+  return device_.compute_forces(forest, parts_, groups_, cfg.traversal(),
+                                /*self=*/false);
+}
+
+void Rank::integrate(double dt, TimeBreakdown& times) {
+  ScopedTimer t(times, "Integration");
+  ParticleSet& p = parts_;
+  device_.parallel_for(p.size(), [&](std::size_t i) {
+    p.vx[i] += p.ax[i] * dt;
+    p.vy[i] += p.ay[i] * dt;
+    p.vz[i] += p.az[i] * dt;
+    p.x[i] += p.vx[i] * dt;
+    p.y[i] += p.vy[i] * dt;
+    p.z[i] += p.vz[i] * dt;
+  });
+}
+
+}  // namespace bonsai::domain

@@ -1,0 +1,91 @@
+// One in-process "rank": the unit of the paper's parallelization. A rank
+// owns a particle slice (a contiguous Hilbert-key interval), its own Device,
+// its own octree and target groups, and per-stage timings. The multi-rank
+// Simulation orchestrates ranks the way the paper's MPI layer orchestrates
+// processes; swapping this emulation for real MPI/GPU backends changes the
+// transport, not the dataflow.
+#pragma once
+
+#include <cstddef>
+
+#include "device/device.hpp"
+#include "domain/let.hpp"
+#include "sfc/keys.hpp"
+#include "tree/octree.hpp"
+#include "tree/particle.hpp"
+#include "tree/traverse.hpp"
+#include "util/aabb.hpp"
+#include "util/timer.hpp"
+
+namespace bonsai::domain {
+
+// Per-step knobs shared by every rank (the Simulation owns the authoritative
+// copy; ranks receive it by const reference each stage).
+struct SimConfig {
+  int nranks = 1;
+  double theta = 0.4;  // opening angle (paper production value, §IV)
+  double eps = 1e-2;   // Plummer softening
+  int nleaf = Octree::kDefaultNLeaf;
+  int ncrit = 64;  // target-group size
+  bool quadrupole = true;
+  double dt = 0.0;  // 0 disables integration (forces-only steps)
+  sfc::CurveType curve = sfc::CurveType::kHilbert;
+  std::size_t samples_per_rank = 4096;        // boundary-key samples per rank
+  int snap_level = 8;                         // boundary snap (0 = off)
+  std::size_t threads_per_rank = 0;           // 0: hardware threads / nranks
+
+  TraversalConfig traversal() const {
+    TraversalConfig t;
+    t.theta = theta;
+    t.eps = eps;
+    t.ncrit = ncrit;
+    t.quadrupole = quadrupole;
+    return t;
+  }
+};
+
+class Rank {
+ public:
+  Rank(int id, std::size_t num_threads) : id_(id), device_(num_threads) {}
+
+  int id() const { return id_; }
+  Device& device() { return device_; }
+  ParticleSet& parts() { return parts_; }
+  const ParticleSet& parts() const { return parts_; }
+  const Octree& tree() const { return tree_; }
+  std::span<const TargetGroup> groups() const { return groups_; }
+
+  // Tight AABB of the rank's particles (valid only when non-empty); this is
+  // the box remote ranks build LETs against.
+  const AABB& domain_box() const { return box_; }
+
+  // Sort by SFC key, build the octree, compute multipoles/MAC radii and
+  // target groups. Stage timings accumulate into `times` under the Table II
+  // row names.
+  void build(const sfc::KeySpace& space, const SimConfig& cfg, TimeBreakdown& times);
+
+  // Extract this rank's LET for a remote domain box (sender-side work).
+  LetTree export_let(const AABB& remote_box) const {
+    return build_let(tree_.view(parts_), remote_box);
+  }
+
+  // Forces from the rank's own tree (exact self-interactions skipped).
+  InteractionStats gravity_local(const SimConfig& cfg, TimeBreakdown& times);
+
+  // Forces from the grafted forest of imported LETs.
+  InteractionStats gravity_remote(const TreeView& forest, const SimConfig& cfg,
+                                  TimeBreakdown& times);
+
+  // Symplectic-Euler kick-drift using the freshly computed accelerations.
+  void integrate(double dt, TimeBreakdown& times);
+
+ private:
+  int id_;
+  Device device_;
+  ParticleSet parts_;
+  Octree tree_;
+  std::vector<TargetGroup> groups_;
+  AABB box_;
+};
+
+}  // namespace bonsai::domain

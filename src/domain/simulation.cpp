@@ -1,0 +1,224 @@
+#include "domain/simulation.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <ostream>
+#include <thread>
+
+#include "util/check.hpp"
+#include "util/table.hpp"
+
+namespace bonsai::domain {
+
+namespace {
+
+// Canonical stage order for reports (the pipeline order of Table II).
+const char* const kStageOrder[] = {
+    "Domain update", "Exchange particles", "Sorting SFC",
+    "Tree-construction", "Tree-properties", "Exchange LET",
+    "Gravity local", "Gravity remote", "Integration",
+};
+
+std::size_t threads_for(const SimConfig& cfg) {
+  if (cfg.threads_per_rank > 0) return cfg.threads_per_rank;
+  const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
+  return std::max<std::size_t>(1, hw / static_cast<std::size_t>(cfg.nranks));
+}
+
+}  // namespace
+
+Simulation::Simulation(const SimConfig& cfg) : cfg_(cfg) {
+  BONSAI_CHECK(cfg_.nranks >= 1);
+  BONSAI_CHECK_MSG(cfg_.nranks <= 255, "grafted LET forests fan out to at most 255 ranks");
+  const std::size_t threads = threads_for(cfg_);
+  ranks_.reserve(static_cast<std::size_t>(cfg_.nranks));
+  for (int r = 0; r < cfg_.nranks; ++r)
+    ranks_.push_back(std::make_unique<Rank>(r, threads));
+  decomp_ = Decomposition::uniform(cfg_.nranks);
+}
+
+void Simulation::init(ParticleSet global) {
+  ranks_[0]->parts() = std::move(global);
+  for (std::size_t r = 1; r < ranks_.size(); ++r) ranks_[r]->parts().clear();
+  StepReport scratch;
+  TimeBreakdown driver;
+  redistribute(scratch, driver);
+}
+
+void Simulation::redistribute(StepReport& report, TimeBreakdown& driver_times) {
+  {
+    ScopedTimer t(driver_times, "Domain update");
+    AABB bounds;
+    for (const auto& rank : ranks_)
+      if (!rank->parts().empty()) bounds.expand(rank->parts().bounds());
+    if (!bounds.valid()) bounds = {{0, 0, 0}, {1, 1, 1}};  // no particles anywhere
+    space_ = sfc::KeySpace(bounds, cfg_.curve);
+
+    // One global stride for every rank: pooled samples stay uniformly
+    // weighted per particle, so quantile cuts keep tracking the population
+    // even when rank sizes have drifted apart.
+    const std::size_t total = num_particles();
+    const std::size_t target =
+        cfg_.samples_per_rank * static_cast<std::size_t>(cfg_.nranks);
+    const std::size_t stride = std::max<std::size_t>(1, total / std::max<std::size_t>(1, target));
+    std::vector<sfc::Key> samples;
+    for (const auto& rank : ranks_) {
+      const auto s = sample_keys(rank->parts(), space_, stride);
+      samples.insert(samples.end(), s.begin(), s.end());
+    }
+    decomp_ = Decomposition::from_samples(std::move(samples), cfg_.nranks, cfg_.snap_level);
+  }
+  {
+    ScopedTimer t(driver_times, "Exchange particles");
+    std::vector<ParticleSet> sets(ranks_.size());
+    for (std::size_t r = 0; r < ranks_.size(); ++r)
+      sets[r] = std::move(ranks_[r]->parts());
+    const ExchangeStats ex = exchange(sets, space_, decomp_);
+    for (std::size_t r = 0; r < ranks_.size(); ++r)
+      ranks_[r]->parts() = std::move(sets[r]);
+    report.migrated = ex.migrated;
+    report.num_particles = ex.total;
+  }
+}
+
+StepReport Simulation::step() {
+  StepReport report;
+  report.step = next_step_++;
+  WallTimer wall;
+
+  const std::size_t nranks = ranks_.size();
+  TimeBreakdown driver_times;
+  std::vector<TimeBreakdown> rank_times(nranks);
+
+  redistribute(report, driver_times);
+
+  for (std::size_t r = 0; r < nranks; ++r)
+    ranks_[r]->build(space_, cfg_, rank_times[r]);
+
+  // LET exchange: extraction is sender-side work, grafting receiver-side.
+  std::vector<std::vector<LetTree>> imported(nranks);
+  for (std::size_t src = 0; src < nranks; ++src) {
+    if (ranks_[src]->parts().empty()) continue;
+    ScopedTimer t(rank_times[src], "Exchange LET");
+    for (std::size_t dst = 0; dst < nranks; ++dst) {
+      if (dst == src || ranks_[dst]->parts().empty()) continue;
+      LetTree let = ranks_[src]->export_let(ranks_[dst]->domain_box());
+      report.let_cells += let.num_cells();
+      report.let_particles += let.num_particles();
+      imported[dst].push_back(std::move(let));
+    }
+  }
+  std::vector<LetTree> forests(nranks);
+  for (std::size_t dst = 0; dst < nranks; ++dst) {
+    if (imported[dst].empty()) continue;
+    ScopedTimer t(rank_times[dst], "Exchange LET");
+    forests[dst] = graft_lets(imported[dst], cfg_.theta);
+  }
+
+  for (std::size_t r = 0; r < nranks; ++r) {
+    ranks_[r]->parts().zero_forces();
+    report.local_stats += ranks_[r]->gravity_local(cfg_, rank_times[r]);
+    report.remote_stats +=
+        ranks_[r]->gravity_remote(forests[r].view(), cfg_, rank_times[r]);
+  }
+
+  if (cfg_.dt != 0.0)
+    for (std::size_t r = 0; r < nranks; ++r)
+      ranks_[r]->integrate(cfg_.dt, rank_times[r]);
+
+  // Fold driver-level and per-rank stage times into the two aggregate views.
+  for (const char* stage : kStageOrder) {
+    const double drv = driver_times.get(stage);
+    double mx = drv, sum = drv;
+    for (const TimeBreakdown& t : rank_times) {
+      const double v = t.get(stage);
+      mx = std::max(mx, v);
+      sum += v;
+    }
+    if (mx > 0.0 || sum > 0.0) {
+      report.max_times.add(stage, mx);
+      report.sum_times.add(stage, sum);
+    }
+  }
+  report.elapsed = wall.elapsed();
+  return report;
+}
+
+ParticleSet Simulation::gather() const {
+  ParticleSet out;
+  out.reserve(num_particles());
+  for (const auto& rank : ranks_) {
+    const ParticleSet& p = rank->parts();
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      out.add(p.get(i));
+      out.ax.back() = p.ax[i];
+      out.ay.back() = p.ay[i];
+      out.az.back() = p.az[i];
+      out.pot.back() = p.pot[i];
+      out.key.back() = p.key[i];
+    }
+  }
+  std::vector<std::uint32_t> perm(out.size());
+  std::iota(perm.begin(), perm.end(), 0u);
+  std::sort(perm.begin(), perm.end(),
+            [&](std::uint32_t a, std::uint32_t b) { return out.id[a] < out.id[b]; });
+  out.apply_permutation(perm);
+  return out;
+}
+
+std::size_t Simulation::num_particles() const {
+  std::size_t n = 0;
+  for (const auto& rank : ranks_) n += rank->parts().size();
+  return n;
+}
+
+double Simulation::kinetic_energy() const {
+  double ke = 0.0;
+  for (const auto& rank : ranks_) {
+    const ParticleSet& p = rank->parts();
+    for (std::size_t i = 0; i < p.size(); ++i) ke += 0.5 * p.mass[i] * norm2(p.vel(i));
+  }
+  return ke;
+}
+
+double Simulation::potential_energy() const {
+  double pe = 0.0;
+  for (const auto& rank : ranks_) {
+    const ParticleSet& p = rank->parts();
+    for (std::size_t i = 0; i < p.size(); ++i) pe += 0.5 * p.mass[i] * p.pot[i];
+  }
+  return pe;
+}
+
+void print_step_report(const StepReport& report, std::ostream& os) {
+  os << "step " << report.step << ": n=" << report.num_particles
+     << " migrated=" << report.migrated << " LET cells=" << report.let_cells
+     << " LET particles=" << report.let_particles << '\n';
+
+  TextTable table({"Stage", "max [ms]", "sum [ms]", "% max"});
+  const double total_max = report.max_times.total();
+  for (const auto& entry : report.max_times.entries()) {
+    const double sum = report.sum_times.get(entry.name);
+    table.add_row({entry.name, TextTable::num(entry.seconds * 1e3),
+                   TextTable::num(sum * 1e3),
+                   TextTable::num(total_max > 0.0 ? 100.0 * entry.seconds / total_max : 0.0,
+                                  1)});
+  }
+  table.add_row({"Total", TextTable::num(total_max * 1e3),
+                 TextTable::num(report.sum_times.total() * 1e3), "100.0"});
+  table.print(os);
+
+  const InteractionStats stats = report.stats();
+  const double grav_sum =
+      report.sum_times.get("Gravity local") + report.sum_times.get("Gravity remote");
+  const double grav_max =
+      report.max_times.get("Gravity local") + report.max_times.get("Gravity remote");
+  os << "interactions: p2p/particle="
+     << TextTable::num(stats.p2p_per_particle(report.num_particles), 1)
+     << " p2c/particle=" << TextTable::num(stats.p2c_per_particle(report.num_particles), 1)
+     << " | gravity " << TextTable::num(gflops_rate(stats.flops(), grav_sum), 2)
+     << " Gflop/s (device), " << TextTable::num(gflops_rate(stats.flops(), grav_max), 2)
+     << " Gflop/s (parallel model)\n";
+}
+
+}  // namespace bonsai::domain

@@ -1,0 +1,82 @@
+// Multi-rank driver: the in-process analogue of the paper's full per-step
+// pipeline (§III-B, Table II):
+//
+//   domain update (sampled boundary keys)  ->  particle exchange
+//   -> per-rank sort / tree build / properties
+//   -> LET exchange (sender-side extraction, receiver-side graft)
+//   -> gravity: local tree walk + grafted-LET walk
+//   -> integration
+//
+// Ranks are driven sequentially here (each with its own Device thread pool);
+// per-stage timings are recorded per rank so the report can show both the
+// parallel-model wall-clock (max over ranks) and total device-seconds (sum),
+// the way Table II reports per-process times.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "domain/decomposition.hpp"
+#include "domain/rank.hpp"
+#include "util/flops.hpp"
+#include "util/timer.hpp"
+
+namespace bonsai::domain {
+
+// Everything one step produces, for printing and for tests.
+struct StepReport {
+  int step = 0;
+  std::size_t num_particles = 0;
+  std::uint64_t migrated = 0;       // particles that changed rank this step
+  std::uint64_t let_cells = 0;      // total exported LET nodes
+  std::uint64_t let_particles = 0;  // total exported leaf particles
+  InteractionStats local_stats, remote_stats;
+  TimeBreakdown max_times;  // per-stage max over ranks (parallel wall-clock)
+  TimeBreakdown sum_times;  // per-stage sum over ranks (device-seconds)
+  double elapsed = 0.0;     // actual wall-clock of the whole step
+
+  InteractionStats stats() const { return local_stats + remote_stats; }
+};
+
+class Simulation {
+ public:
+  explicit Simulation(const SimConfig& cfg);
+
+  // Scatter an initial particle set across the ranks (samples an initial
+  // decomposition and runs one exchange).
+  void init(ParticleSet global);
+
+  // One full pipeline step; forces are valid for every particle afterwards.
+  StepReport step();
+
+  // All particles of all ranks, sorted by id, with forces preserved.
+  ParticleSet gather() const;
+
+  std::size_t num_particles() const;
+  const SimConfig& config() const { return cfg_; }
+  const Decomposition& decomposition() const { return decomp_; }
+  const sfc::KeySpace& key_space() const { return space_; }
+  Rank& rank(int r) { return *ranks_[static_cast<std::size_t>(r)]; }
+  const Rank& rank(int r) const { return *ranks_[static_cast<std::size_t>(r)]; }
+
+  // Diagnostics over the current population (KE from velocities, PE from the
+  // per-particle potentials of the last force pass).
+  double kinetic_energy() const;
+  double potential_energy() const;
+
+ private:
+  // Domain update + particle exchange; records driver-level timings/counts.
+  void redistribute(StepReport& report, TimeBreakdown& driver_times);
+
+  SimConfig cfg_;
+  std::vector<std::unique_ptr<Rank>> ranks_;
+  Decomposition decomp_;
+  sfc::KeySpace space_;
+  int next_step_ = 0;
+};
+
+// Render a StepReport as the per-stage timing table (Table II layout).
+void print_step_report(const StepReport& report, std::ostream& os);
+
+}  // namespace bonsai::domain

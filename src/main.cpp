@@ -1,0 +1,135 @@
+// bonsai_sim: multi-rank gravitational tree-code driver.
+//
+// Runs the full per-step pipeline of the paper on an in-process domain
+// decomposition (see src/domain/) and prints per-stage timing tables in the
+// style of Table II. `--validate` additionally checks the multi-rank forces
+// against a single-rank run and against direct summation.
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "domain/simulation.hpp"
+#include "tree/direct.hpp"
+#include "util/cli.hpp"
+#include "util/compare.hpp"
+#include "util/ic.hpp"
+#include "util/random.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+void print_usage() {
+  std::cout <<
+      "bonsai_sim — multi-rank Barnes-Hut gravity driver\n"
+      "  --n N          particles (default 16384)\n"
+      "  --ranks R      in-process ranks (default 4)\n"
+      "  --steps S      simulation steps (default 4)\n"
+      "  --dt DT        timestep; 0 = forces only (default 1e-3)\n"
+      "  --theta T      opening angle (default 0.4)\n"
+      "  --eps E        Plummer softening (default 1e-2)\n"
+      "  --nleaf L      leaf capacity (default 16)\n"
+      "  --ncrit C      target-group size (default 64)\n"
+      "  --curve NAME   hilbert | morton (default hilbert)\n"
+      "  --threads T    threads per rank (default: hardware/ranks)\n"
+      "  --seed S       RNG seed (default 42)\n"
+      "  --validate     compare forces vs 1-rank run and direct summation\n";
+}
+
+int run_validation(const bonsai::domain::SimConfig& cfg, const bonsai::ParticleSet& initial) {
+  using namespace bonsai;
+  domain::SimConfig force_cfg = cfg;
+  force_cfg.dt = 0.0;  // forces-only comparison
+
+  domain::Simulation multi(force_cfg);
+  multi.init(initial);
+  domain::StepReport rep = multi.step();
+  print_step_report(rep, std::cout);
+  ParticleSet gathered = multi.gather();
+
+  domain::SimConfig single_cfg = force_cfg;
+  single_cfg.nranks = 1;
+  domain::Simulation single(single_cfg);
+  single.init(initial);
+  single.step();
+  ParticleSet reference = single.gather();
+
+  const double rms = rms_acc_diff(gathered, reference);
+  const double med_vs_single = median_acc_error(gathered, reference);
+
+  // Direct-summation spot check on a deterministic subset.
+  const std::size_t nsub = std::min<std::size_t>(gathered.size(), 256);
+  std::vector<std::uint32_t> subset;
+  Xoshiro256 rng(991);
+  for (std::size_t i = 0; i < nsub; ++i)
+    subset.push_back(static_cast<std::uint32_t>(rng() % gathered.size()));
+  ParticleSet direct = gathered;
+  direct_forces_subset(direct, force_cfg.eps, subset);
+  std::vector<double> direct_err;
+  for (const std::uint32_t i : subset)
+    direct_err.push_back(norm(gathered.acc(i) - direct.acc(i)) /
+                         std::max(norm(direct.acc(i)), 1e-300));
+  const double med_vs_direct = percentile(direct_err, 0.5);
+
+  std::cout << "validate: rms |a_multi - a_single| = " << rms
+            << "  (median rel = " << med_vs_single << ")\n"
+            << "validate: median rel error vs direct (subset of " << nsub
+            << ") = " << med_vs_direct << "\n";
+
+  // The group-MAC envelope for the shared theta (matching the bounds the
+  // tier-1 traversal tests use), and the direct-sum theta tolerance.
+  const double mac_bound = force_cfg.theta <= 0.3 ? 2e-4 : force_cfg.theta <= 0.5 ? 1e-3 : 5e-3;
+  const double direct_bound = force_cfg.theta <= 0.3 ? 2e-5 : force_cfg.theta <= 0.5 ? 2e-4 : 2e-3;
+  const bool ok = med_vs_single < mac_bound && med_vs_direct < direct_bound;
+  std::cout << (ok ? "validate: PASS\n" : "validate: FAIL\n");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bonsai::CommandLine cli(argc, argv);
+  if (cli.has("help")) {
+    print_usage();
+    return 0;
+  }
+
+  bonsai::domain::SimConfig cfg;
+  const auto n = static_cast<std::size_t>(cli.get_int("n", 16384));
+  cfg.nranks = static_cast<int>(cli.get_int("ranks", 4));
+  cfg.theta = cli.get_double("theta", 0.4);
+  cfg.eps = cli.get_double("eps", 1e-2);
+  cfg.nleaf = static_cast<int>(cli.get_int("nleaf", bonsai::Octree::kDefaultNLeaf));
+  cfg.ncrit = static_cast<int>(cli.get_int("ncrit", 64));
+  cfg.dt = cli.get_double("dt", 1e-3);
+  cfg.threads_per_rank = static_cast<std::size_t>(cli.get_int("threads", 0));
+  cfg.curve = cli.get("curve", "hilbert") == "morton" ? bonsai::sfc::CurveType::kMorton
+                                                      : bonsai::sfc::CurveType::kHilbert;
+  const auto steps = static_cast<int>(cli.get_int("steps", 4));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+
+  std::cout << "bonsai_sim: n=" << n << " ranks=" << cfg.nranks << " theta=" << cfg.theta
+            << " eps=" << cfg.eps << " dt=" << cfg.dt << " steps=" << steps << "\n";
+
+  const bonsai::ParticleSet initial = bonsai::make_plummer(n, seed);
+
+  try {
+    if (cli.get_bool("validate", false)) return run_validation(cfg, initial);
+
+    bonsai::domain::Simulation sim(cfg);
+    sim.init(initial);
+    for (int s = 0; s < steps; ++s) {
+      const bonsai::domain::StepReport rep = sim.step();
+      print_step_report(rep, std::cout);
+      const double ke = sim.kinetic_energy();
+      const double pe = sim.potential_energy();
+      std::cout << "energy: K=" << bonsai::TextTable::num(ke, 6)
+                << " W=" << bonsai::TextTable::num(pe, 6)
+                << " E=" << bonsai::TextTable::num(ke + pe, 6) << "\n\n";
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "bonsai_sim: fatal: " << e.what() << "\n";
+    return 2;
+  }
+  return 0;
+}

@@ -49,12 +49,15 @@ struct TreeNode {
 
 // Read-only view of a tree plus its source particle arrays; the traversal
 // accepts any TreeView, so local trees and received LETs share one code path.
+// Note: a LET view can carry zero particles yet still exert force (pruned
+// branches are pure multipoles), so emptiness is "no nodes", not "no
+// particles".
 struct TreeView {
   std::span<const TreeNode> nodes;
   std::span<const double> x, y, z, m;
 
   const TreeNode& root() const { return nodes[0]; }
-  bool empty() const { return nodes.empty() || nodes[0].count() == 0; }
+  bool empty() const { return nodes.empty(); }
 };
 
 class Octree {

@@ -8,7 +8,8 @@
 namespace bonsai {
 
 std::vector<TargetGroup> make_groups(const ParticleSet& parts, int ncrit) {
-  BONSAI_CHECK(ncrit >= 1);
+  BONSAI_CHECK_MSG(ncrit >= 1, "target groups need a positive capacity");
+  if (parts.empty()) return {};
   const auto n = static_cast<std::uint32_t>(parts.size());
   std::vector<TargetGroup> groups;
   groups.reserve((n + ncrit - 1) / ncrit);
@@ -89,7 +90,10 @@ InteractionStats traverse_one_group(const TreeView& src, ParticleSet& targets,
   while (!stack.empty()) {
     const TreeNode& node = src.nodes[static_cast<std::size_t>(stack.back())];
     stack.pop_back();
-    if (node.count() == 0 && node.kind != NodeKind::kMultipoleLeaf) continue;
+    // Only a particle leaf is skippable when empty: LET internal nodes carry
+    // no opened particles of their own but still hold live children, and
+    // multipole leaves carry none by construction.
+    if (node.count() == 0 && node.kind == NodeKind::kParticleLeaf) continue;
 
     if (mac_accept(group.box, node)) {
       apply_cell(node, targets, group.begin, group.end, eps2, config.quadrupole, stats);
@@ -135,7 +139,7 @@ InteractionStats traverse_single(const TreeView& src, ParticleSet& targets,
   while (!stack.empty()) {
     const TreeNode& node = src.nodes[static_cast<std::size_t>(stack.back())];
     stack.pop_back();
-    if (node.count() == 0 && node.kind != NodeKind::kMultipoleLeaf) continue;
+    if (node.count() == 0 && node.kind == NodeKind::kParticleLeaf) continue;
 
     const bool accept = node.kind == NodeKind::kMultipoleLeaf || mac_accept(tpos, node);
     if (accept) {

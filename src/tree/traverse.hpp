@@ -36,7 +36,8 @@ struct TargetGroup {
 
 // Partition [0, parts.size()) into groups of at most `ncrit` particles and
 // compute their bounding boxes. Particles should be SFC-sorted so groups are
-// spatially compact.
+// spatially compact. An empty set yields no groups; `ncrit <= 0` is a
+// contract violation and throws std::logic_error.
 std::vector<TargetGroup> make_groups(const ParticleSet& parts, int ncrit);
 
 // Walk `src` for every group, accumulating accelerations and potentials into

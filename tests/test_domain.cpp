@@ -1,0 +1,342 @@
+// Domain decomposition, particle exchange, and Local Essential Tree
+// correctness: the multi-rank pipeline must preserve the particle set
+// bit-for-bit across exchanges and reproduce single-tree forces within the
+// group-MAC error envelope.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "domain/decomposition.hpp"
+#include "domain/let.hpp"
+#include "domain/simulation.hpp"
+#include "tree/direct.hpp"
+#include "tree/octree.hpp"
+#include "tree/traverse.hpp"
+#include "util/compare.hpp"
+#include "util/ic.hpp"
+#include "util/stats.hpp"
+
+namespace bonsai {
+namespace {
+
+using domain::Decomposition;
+using domain::LetTree;
+using domain::SimConfig;
+using domain::Simulation;
+
+// Reference forces from the single global tree's group walk, returned in
+// particle-id order so they align with Simulation::gather().
+ParticleSet global_tree_forces(const ParticleSet& global, double theta, double eps,
+                               int nleaf = Octree::kDefaultNLeaf, int ncrit = 64) {
+  ParticleSet ref = global;
+  sfc::KeySpace space(ref.bounds());
+  sort_by_keys(ref, space);
+  Octree tree;
+  tree.build(ref, nleaf);
+  tree.compute_properties(ref, theta);
+  auto groups = make_groups(ref, ncrit);
+  TraversalConfig cfg;
+  cfg.theta = theta;
+  cfg.eps = eps;
+  cfg.ncrit = ncrit;
+  ref.zero_forces();
+  traverse_groups(tree.view(ref), ref, groups, cfg, /*self=*/true);
+
+  std::vector<std::uint32_t> perm(ref.size());
+  std::iota(perm.begin(), perm.end(), 0u);
+  std::sort(perm.begin(), perm.end(),
+            [&](std::uint32_t a, std::uint32_t b) { return ref.id[a] < ref.id[b]; });
+  ref.apply_permutation(perm);
+  return ref;
+}
+
+TEST(Decomposition, UniformCoversKeySpace) {
+  const Decomposition d = Decomposition::uniform(7);
+  ASSERT_EQ(d.num_ranks(), 7);
+  EXPECT_EQ(d.begin_key(0), 0u);
+  EXPECT_EQ(d.end_key(6), sfc::kKeyEnd);
+  for (int r = 0; r + 1 < 7; ++r) EXPECT_EQ(d.end_key(r), d.begin_key(r + 1));
+  EXPECT_EQ(d.rank_of(0), 0);
+  EXPECT_EQ(d.rank_of(sfc::kKeyEnd - 1), 6);
+}
+
+TEST(Decomposition, RankOfRespectsBoundaries) {
+  const sfc::Key b1 = sfc::kKeyEnd / 4, b2 = sfc::kKeyEnd / 2;
+  const Decomposition d = Decomposition::from_boundaries({0, b1, b2, sfc::kKeyEnd});
+  EXPECT_EQ(d.rank_of(0), 0);
+  EXPECT_EQ(d.rank_of(b1 - 1), 0);
+  EXPECT_EQ(d.rank_of(b1), 1);  // boundary key belongs to the upper rank
+  EXPECT_EQ(d.rank_of(b2 - 1), 1);
+  EXPECT_EQ(d.rank_of(b2), 2);
+  EXPECT_EQ(d.rank_of(sfc::kKeyEnd - 1), 2);
+}
+
+TEST(Decomposition, SampledBoundariesBalanceClusteredSet) {
+  const ParticleSet parts = make_plummer(4096, 101);
+  sfc::KeySpace space(parts.bounds());
+  const int nranks = 8;
+  const auto samples = domain::sample_keys(parts, space, /*stride=*/1);
+  const Decomposition d = Decomposition::from_samples(samples, nranks);
+
+  std::vector<std::size_t> counts(nranks, 0);
+  for (std::size_t i = 0; i < parts.size(); ++i)
+    ++counts[static_cast<std::size_t>(d.rank_of(space.key(parts.pos(i))))];
+  const double mean = static_cast<double>(parts.size()) / nranks;
+  for (int r = 0; r < nranks; ++r) {
+    EXPECT_GT(static_cast<double>(counts[r]), 0.5 * mean) << "rank " << r;
+    EXPECT_LT(static_cast<double>(counts[r]), 1.5 * mean) << "rank " << r;
+  }
+}
+
+TEST(Decomposition, EmptySamplesFallBackToUniform) {
+  const Decomposition d = Decomposition::from_samples({}, 4);
+  const Decomposition u = Decomposition::uniform(4);
+  ASSERT_EQ(d.num_ranks(), 4);
+  for (int r = 0; r < 4; ++r) EXPECT_EQ(d.begin_key(r), u.begin_key(r));
+}
+
+TEST(Exchange, OwnershipAndBitForBitConservation) {
+  const std::size_t n = 2000;
+  const int nranks = 5;
+  const ParticleSet global = make_plummer(n, 17);
+
+  // Scatter round-robin (deliberately wrong owners), then exchange.
+  std::vector<ParticleSet> sets(nranks);
+  for (std::size_t i = 0; i < n; ++i) sets[i % nranks].add(global.get(i));
+  sfc::KeySpace space(global.bounds());
+  std::vector<sfc::Key> samples;
+  for (const auto& s : sets) {
+    const auto sk = domain::sample_keys(s, space, /*stride=*/1);
+    samples.insert(samples.end(), sk.begin(), sk.end());
+  }
+  const Decomposition d = Decomposition::from_samples(samples, nranks);
+  const auto stats = domain::exchange(sets, space, d);
+  EXPECT_EQ(stats.total, n);
+  EXPECT_GT(stats.migrated, 0u);
+
+  // Every particle owned by exactly one rank, and by the right one.
+  std::vector<int> seen(n, 0);
+  for (int r = 0; r < nranks; ++r) {
+    for (std::size_t i = 0; i < sets[r].size(); ++i) {
+      const auto id = sets[r].id[i];
+      ASSERT_LT(id, n);
+      ++seen[static_cast<std::size_t>(id)];
+      EXPECT_EQ(sets[r].key[i], space.key(sets[r].pos(i)));
+      EXPECT_EQ(d.rank_of(sets[r].key[i]), r);
+    }
+  }
+  for (std::size_t id = 0; id < n; ++id) EXPECT_EQ(seen[id], 1) << "id " << id;
+
+  // Bit-for-bit state preservation: reassemble by id and compare exactly.
+  ParticleSet by_id(n);
+  for (int r = 0; r < nranks; ++r) {
+    for (std::size_t i = 0; i < sets[r].size(); ++i) {
+      const Particle p = sets[r].get(i);
+      by_id.set_pos(p.id, p.pos);
+      by_id.set_vel(p.id, p.vel);
+      by_id.mass[p.id] = p.mass;
+    }
+  }
+  double mass_before = 0.0, mass_after = 0.0;
+  Vec3d mom_before{}, mom_after{};
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(by_id.pos(i), global.pos(i));
+    EXPECT_EQ(by_id.vel(i), global.vel(i));
+    EXPECT_EQ(by_id.mass[i], global.mass[i]);
+    mass_before += global.mass[i];
+    mass_after += by_id.mass[i];
+    mom_before += global.mass[i] * global.vel(i);
+    mom_after += by_id.mass[i] * by_id.vel(i);
+  }
+  EXPECT_EQ(mass_before, mass_after);  // identical summands, identical order
+  EXPECT_EQ(mom_before, mom_after);
+}
+
+TEST(Let, DistantDomainPrunesToSingleMultipole) {
+  ParticleSet sources = make_plummer(2000, 29);
+  sfc::KeySpace space(sources.bounds());
+  sort_by_keys(sources, space);
+  Octree tree;
+  tree.build(sources);
+  tree.compute_properties(sources, 0.4);
+
+  const AABB far{{100, 100, 100}, {101, 101, 101}};
+  const LetTree let = domain::build_let(tree.view(sources), far);
+  ASSERT_EQ(let.num_cells(), 1u);
+  EXPECT_EQ(let.nodes[0].kind, NodeKind::kMultipoleLeaf);
+  EXPECT_EQ(let.num_particles(), 0u);
+  EXPECT_FALSE(let.empty());  // a bare multipole still exerts force
+
+  // The grafted single-multipole forest reproduces the far field.
+  std::vector<LetTree> lets{let};
+  const LetTree forest = domain::graft_lets(lets, 0.4);
+  ParticleSet targets;
+  Xoshiro256 rng(33);
+  for (int i = 0; i < 100; ++i)
+    targets.add({Vec3d{100.5, 100.5, 100.5} + rng.unit_sphere() * 0.4, {0, 0, 0}, 1.0,
+                 static_cast<std::uint64_t>(i)});
+  targets.zero_forces();
+  auto groups = make_groups(targets, 64);
+  TraversalConfig cfg;
+  cfg.theta = 0.4;
+  traverse_groups(forest.view(), targets, groups, cfg, /*self=*/false);
+
+  ParticleSet ref = targets;
+  ref.zero_forces();
+  direct_forces_between(sources, ref, 0.0);
+  EXPECT_LT(median_acc_error(targets, ref), 1e-3);
+}
+
+TEST(Let, NearbyDomainExportIsCompressedAndAccurate) {
+  // Left cloud vs the bounds of the x > 2 tail: close enough that boundary
+  // leaves must ship particles, far enough that interior branches prune.
+  const ParticleSet global = make_plummer(4000, 31);
+  ParticleSet left, right;
+  for (std::size_t i = 0; i < global.size(); ++i) {
+    if (global.x[i] < 0.0) left.add(global.get(i));
+    if (global.x[i] > 2.0) right.add(global.get(i));
+  }
+  ASSERT_GT(left.size(), 100u);
+  ASSERT_GT(right.size(), 100u);
+
+  sfc::KeySpace space(global.bounds());
+  sort_by_keys(left, space);
+  Octree tree;
+  tree.build(left);
+  tree.compute_properties(left, 0.4);
+
+  const LetTree let = domain::build_let(tree.view(left), right.bounds());
+  // The essential tree must be a strict compression of the full local tree.
+  EXPECT_LT(let.num_particles(), left.size());
+  EXPECT_LT(let.num_cells(), tree.nodes().size());
+
+  std::vector<LetTree> lets{let};
+  const LetTree forest = domain::graft_lets(lets, 0.4);
+  right.zero_forces();
+  auto groups = make_groups(right, 64);
+  TraversalConfig cfg;
+  cfg.theta = 0.4;
+  cfg.eps = 1e-3;
+  traverse_groups(forest.view(), right, groups, cfg, /*self=*/false);
+
+  ParticleSet ref = right;
+  ref.zero_forces();
+  direct_forces_between(left, ref, cfg.eps);
+  EXPECT_LT(median_acc_error(right, ref), 1e-3);
+}
+
+TEST(Let, GraftOfEmptyLetsIsEmpty) {
+  EXPECT_TRUE(domain::graft_lets({}, 0.4).empty());
+  std::vector<LetTree> lets(3);  // default LetTrees have no nodes
+  EXPECT_TRUE(domain::graft_lets(lets, 0.4).empty());
+  EXPECT_TRUE(domain::graft_lets(lets, 0.4).view().empty());
+}
+
+TEST(Simulation, OneRankMatchesGlobalGroupWalkExactly) {
+  const ParticleSet global = make_plummer(1500, 23);
+  SimConfig cfg;
+  cfg.nranks = 1;
+  cfg.theta = 0.4;
+  cfg.eps = 1e-3;
+  cfg.dt = 0.0;
+  Simulation sim(cfg);
+  sim.init(global);
+  sim.step();
+  const ParticleSet got = sim.gather();
+
+  const ParticleSet ref = global_tree_forces(global, cfg.theta, cfg.eps);
+  ASSERT_EQ(got.size(), ref.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    ASSERT_EQ(got.id[i], ref.id[i]);
+    EXPECT_DOUBLE_EQ(got.ax[i], ref.ax[i]);
+    EXPECT_DOUBLE_EQ(got.ay[i], ref.ay[i]);
+    EXPECT_DOUBLE_EQ(got.az[i], ref.az[i]);
+    EXPECT_DOUBLE_EQ(got.pot[i], ref.pot[i]);
+  }
+}
+
+TEST(Simulation, MultiRankForcesMatchSingleTreeAndDirect) {
+  const ParticleSet global = make_plummer(3000, 19);
+  SimConfig cfg;
+  cfg.nranks = 4;
+  cfg.theta = 0.4;
+  cfg.eps = 1e-3;
+  cfg.dt = 0.0;
+  Simulation sim(cfg);
+  sim.init(global);
+  const domain::StepReport rep = sim.step();
+  EXPECT_EQ(rep.num_particles, global.size());
+  EXPECT_GT(rep.let_cells, 0u);
+  const ParticleSet got = sim.gather();
+  ASSERT_EQ(got.size(), global.size());
+
+  // Against the single global tree's group walk: only the group-MAC error of
+  // differing group/boundary cuts remains.
+  const ParticleSet tree_ref = global_tree_forces(global, cfg.theta, cfg.eps);
+  EXPECT_LT(median_acc_error(got, tree_ref), 5e-4);
+
+  // Against direct summation: the same theta envelope the single-device
+  // traversal tests enforce (theta = 0.4 -> 2e-4 median).
+  ParticleSet direct_ref = global;
+  direct_forces(direct_ref, cfg.eps);
+  EXPECT_LT(median_acc_error(got, direct_ref), 2e-4);
+}
+
+TEST(Simulation, DegenerateDistributionLeavesRanksEmpty) {
+  // Particles at only three distinct positions: most of the eight ranks end
+  // up empty, and the pipeline must still produce direct-sum forces.
+  ParticleSet global;
+  const Vec3d sites[3] = {{0, 0, 0}, {1, 0, 0}, {0.4, 0.7, 0.2}};
+  for (std::size_t i = 0; i < 99; ++i)
+    global.add({sites[i % 3], {0, 0, 0}, 0.01, i});
+
+  SimConfig cfg;
+  cfg.nranks = 8;
+  cfg.theta = 0.4;
+  cfg.eps = 0.1;
+  cfg.dt = 0.0;
+  Simulation sim(cfg);
+  sim.init(global);
+  sim.step();
+
+  int empty_ranks = 0;
+  for (int r = 0; r < cfg.nranks; ++r)
+    if (sim.rank(r).parts().empty()) ++empty_ranks;
+  EXPECT_GT(empty_ranks, 0);
+
+  const ParticleSet got = sim.gather();
+  ParticleSet ref = global;
+  direct_forces(ref, cfg.eps);
+  for (std::size_t i = 0; i < ref.size(); ++i)
+    EXPECT_NEAR(norm(got.acc(i) - ref.acc(i)), 0.0, 1e-6 * std::max(1.0, norm(ref.acc(i))));
+}
+
+TEST(Simulation, MultiStepPreservesPopulation) {
+  const std::size_t n = 2000;
+  const ParticleSet global = make_plummer(n, 41);
+  SimConfig cfg;
+  cfg.nranks = 4;
+  cfg.theta = 0.4;
+  cfg.eps = 1e-2;
+  cfg.dt = 1e-3;
+  Simulation sim(cfg);
+  sim.init(global);
+
+  for (int s = 0; s < 3; ++s) {
+    const domain::StepReport rep = sim.step();
+    EXPECT_EQ(rep.num_particles, n);
+    const ParticleSet got = sim.gather();
+    ASSERT_EQ(got.size(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(got.id[i], i);  // ids unique and complete
+      ASSERT_TRUE(std::isfinite(got.ax[i]) && std::isfinite(got.ay[i]) &&
+                  std::isfinite(got.az[i]));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bonsai

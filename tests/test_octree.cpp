@@ -68,8 +68,9 @@ TEST_P(OctreeNleafTest, LeafSizeRespected) {
   auto bt = build_cloud(3000, 103, nleaf);
   for (const TreeNode& node : bt.tree.nodes()) {
     if (!node.is_leaf()) continue;
-    if (node.level < sfc::kMaxLevel)
+    if (node.level < sfc::kMaxLevel) {
       ASSERT_LE(node.count(), static_cast<std::uint32_t>(nleaf));
+    }
   }
 }
 

@@ -10,6 +10,7 @@
 #include "tree/direct.hpp"
 #include "tree/kernels.hpp"
 #include "tree/octree.hpp"
+#include "util/compare.hpp"
 #include "util/random.hpp"
 #include "util/stats.hpp"
 
@@ -46,18 +47,6 @@ WalkSetup make_setup(std::size_t n, std::uint64_t seed, double theta, int ncrit 
   return s;
 }
 
-// Median relative acceleration error of tree forces vs direct.
-double median_acc_error(const ParticleSet& tree_forces, const ParticleSet& reference) {
-  std::vector<double> err;
-  err.reserve(reference.size());
-  for (std::size_t i = 0; i < reference.size(); ++i) {
-    const Vec3d at = tree_forces.acc(i);
-    const Vec3d ad = reference.acc(i);
-    err.push_back(norm(at - ad) / std::max(norm(ad), 1e-300));
-  }
-  return percentile(err, 0.5);
-}
-
 TEST(MakeGroups, SizesAndBoxes) {
   WalkSetup s = make_setup(1000, 211, 0.4, 64);
   std::uint32_t covered = 0;
@@ -69,6 +58,41 @@ TEST(MakeGroups, SizesAndBoxes) {
   }
   EXPECT_EQ(covered, s.parts.size());
   EXPECT_EQ(s.groups.size(), (1000 + 63) / 64u);
+}
+
+TEST(MakeGroups, RejectsNonPositiveNcrit) {
+  ParticleSet parts = clustered_cloud(16, 307);
+  EXPECT_THROW(make_groups(parts, 0), std::logic_error);
+  EXPECT_THROW(make_groups(parts, -5), std::logic_error);
+  // The contract also holds for an empty set: capacity is validated first.
+  ParticleSet empty;
+  EXPECT_THROW(make_groups(empty, 0), std::logic_error);
+}
+
+TEST(MakeGroups, EmptySetYieldsNoGroups) {
+  ParticleSet empty;
+  EXPECT_TRUE(make_groups(empty, 1).empty());
+  EXPECT_TRUE(make_groups(empty, 64).empty());
+}
+
+TEST(Traverse, EmptyGroupSpanIsNoOp) {
+  WalkSetup s = make_setup(200, 311, 0.4);
+  s.parts.zero_forces();
+  const auto stats = traverse_groups(s.tree.view(s.parts), s.parts, {}, TraversalConfig{},
+                                     /*self=*/true);
+  EXPECT_EQ(stats.p2p + stats.p2c, 0u);
+  for (std::size_t i = 0; i < s.parts.size(); ++i)
+    EXPECT_DOUBLE_EQ(norm(s.parts.acc(i)), 0.0);
+}
+
+TEST(Traverse, ZeroWidthGroupIsNoOp) {
+  WalkSetup s = make_setup(200, 313, 0.4);
+  s.parts.zero_forces();
+  TargetGroup g;
+  g.begin = g.end = 7;  // empty target range, box invalid by construction
+  const auto stats =
+      traverse_one_group(s.tree.view(s.parts), s.parts, g, TraversalConfig{}, true);
+  EXPECT_EQ(stats.p2p + stats.p2c, 0u);
 }
 
 TEST(Traverse, TinyThetaReproducesDirectExactly) {
