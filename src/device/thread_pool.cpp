@@ -6,6 +6,14 @@
 
 namespace bonsai {
 
+namespace {
+
+// Set for the duration of worker_loop so parallel_for can detect that it is
+// being re-entered from inside its own pool.
+thread_local const ThreadPool* tls_worker_pool = nullptr;
+
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) num_threads = std::max(1u, std::thread::hardware_concurrency());
   workers_.reserve(num_threads);
@@ -31,6 +39,13 @@ void ThreadPool::submit(std::function<void()> task) {
   cv_task_.notify_one();
 }
 
+std::future<void> ThreadPool::submit_task(std::function<void()> task) {
+  auto packaged = std::make_shared<std::packaged_task<void()>>(std::move(task));
+  std::future<void> done = packaged->get_future();
+  submit([packaged] { (*packaged)(); });
+  return done;
+}
+
 void ThreadPool::wait_idle() {
   std::unique_lock lock(mutex_);
   cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
@@ -39,6 +54,11 @@ void ThreadPool::wait_idle() {
 void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
                               std::size_t chunk) {
   if (n == 0) return;
+  if (workers_.empty() || tls_worker_pool == this) {
+    // Inline fallback (see header): nested invocation or worker-less pool.
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
   if (chunk == 0) {
     // ~4 chunks per worker balances load without excessive queue churn.
     chunk = std::max<std::size_t>(1, n / (4 * num_threads() + 1));
@@ -60,6 +80,7 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
 }
 
 void ThreadPool::worker_loop() {
+  tls_worker_pool = this;
   for (;;) {
     std::function<void()> task;
     {

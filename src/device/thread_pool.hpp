@@ -8,6 +8,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
+#include <future>
 #include <mutex>
 #include <queue>
 #include <thread>
@@ -30,11 +31,22 @@ class ThreadPool {
   // pool terminates on escaped exceptions by design.
   void submit(std::function<void()> task);
 
+  // Enqueue one task and obtain a completion future — the completion signal
+  // the async rank executor builds on. The future becomes ready when the
+  // task returns; like submit(), the task must not throw.
+  std::future<void> submit_task(std::function<void()> task);
+
   // Block until every submitted task has finished.
   void wait_idle();
 
   // Run fn(i) for i in [0, n), dynamically chunked over the workers, and
   // block until complete. fn must be safe to invoke concurrently.
+  //
+  // Deadlock safety: when called from one of this pool's own worker threads
+  // (a nested parallel_for would block in wait_idle while occupying a thread
+  // the queue needs — guaranteed fatal on a one-worker pool, i.e. any 1-core
+  // host), or when the pool has no workers, the loop runs inline on the
+  // caller instead.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
                     std::size_t chunk = 0);
 

@@ -1,0 +1,43 @@
+#include "domain/channel.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace bonsai::domain {
+
+LetExchange::LetExchange(const std::vector<std::uint8_t>& active) {
+  const std::size_t nranks = active.size();
+  const auto num_active = static_cast<std::size_t>(
+      std::count_if(active.begin(), active.end(), [](std::uint8_t a) { return a != 0; }));
+  mailboxes_.reserve(nranks);
+  remaining_.reserve(nranks);
+  for (std::size_t r = 0; r < nranks; ++r) {
+    mailboxes_.push_back(std::make_unique<Channel<LetMessage>>());
+    remaining_.push_back(active[r] && num_active > 0 ? num_active - 1 : 0);
+  }
+}
+
+std::size_t LetExchange::remaining(int dst) const {
+  return remaining_[static_cast<std::size_t>(dst)];
+}
+
+void LetExchange::post(int src, int dst, LetTree let, double export_seconds) {
+  BONSAI_CHECK(src != dst);
+  mailboxes_[static_cast<std::size_t>(dst)]->send({src, std::move(let), export_seconds});
+}
+
+void LetExchange::close(int dst) {
+  mailboxes_[static_cast<std::size_t>(dst)]->close();
+}
+
+std::optional<LetMessage> LetExchange::recv(int dst) {
+  std::size_t& remaining = remaining_[static_cast<std::size_t>(dst)];
+  if (remaining == 0) return std::nullopt;
+  std::optional<LetMessage> msg = mailboxes_[static_cast<std::size_t>(dst)]->recv();
+  BONSAI_CHECK_MSG(msg.has_value(), "LET mailbox closed before all expected arrivals");
+  --remaining;
+  return msg;
+}
+
+}  // namespace bonsai::domain

@@ -1,0 +1,122 @@
+// Nonblocking point-to-point channels: the in-process analogue of the
+// MPI_Isend/Irecv transport of §III-B3. A sender posts a message and keeps
+// computing; the receiver drains its mailbox whenever it is ready for remote
+// work. This is the seam where a real wire transport (MPI, sockets) would
+// slot in — only Channel/LetExchange would change, not the pipeline.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "domain/let.hpp"
+
+namespace bonsai::domain {
+
+// Unbounded multi-producer single-consumer mailbox. send() never blocks
+// (the MPI_Isend analogue); recv() blocks until a message or close() arrives.
+template <typename T>
+class Channel {
+ public:
+  Channel() = default;
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  void send(T value) {
+    {
+      std::lock_guard lock(mutex_);
+      queue_.push_back(std::move(value));
+    }
+    cv_.notify_one();
+  }
+
+  // Blocks until a message is available; nullopt once closed *and* drained.
+  std::optional<T> recv() {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [this] { return !queue_.empty() || closed_; });
+    return pop_locked();
+  }
+
+  // Nonblocking receive; nullopt when the mailbox is currently empty.
+  std::optional<T> try_recv() {
+    std::lock_guard lock(mutex_);
+    return pop_locked();
+  }
+
+  // Completion signal: no further send() will follow. Pending messages stay
+  // receivable; subsequent recv() on an empty mailbox returns nullopt.
+  void close() {
+    {
+      std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard lock(mutex_);
+    return closed_;
+  }
+
+ private:
+  std::optional<T> pop_locked() {
+    if (queue_.empty()) return std::nullopt;
+    T out = std::move(queue_.front());
+    queue_.pop_front();
+    return out;
+  }
+
+  std::deque<T> queue_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool closed_ = false;
+};
+
+// One LET in flight from rank `src`, carrying the sender-side extraction cost
+// so the schedule model can reconstruct when the message could have arrived.
+struct LetMessage {
+  int src = -1;
+  LetTree let;
+  double export_seconds = 0.0;
+};
+
+// The all-to-all LET mailboxes of one step: a Channel per destination rank
+// plus expected-arrival bookkeeping. Senders and receivers are both known up
+// front (the active = non-empty ranks), so recv() can stop a receiver after
+// its last expected message without any close handshake.
+class LetExchange {
+ public:
+  // `active[r]` marks ranks that both send and receive LETs this step; an
+  // active destination expects one LET from every other active rank.
+  explicit LetExchange(const std::vector<std::uint8_t>& active);
+
+  int num_ranks() const { return static_cast<int>(mailboxes_.size()); }
+
+  // LETs dst still has to receive; starts at (number of active ranks - 1)
+  // for an active dst and counts down with each recv().
+  std::size_t remaining(int dst) const;
+
+  // Nonblocking post of src's LET for dst (called from src's driver thread).
+  void post(int src, int dst, LetTree let, double export_seconds);
+
+  // Blocking receive of dst's next LET, in arrival order; nullopt once every
+  // expected LET has been delivered. Must only be called from dst's driver
+  // thread (the single consumer of dst's mailbox). Throws if the mailbox was
+  // close()d before all expected arrivals (fail fast, never hang).
+  std::optional<LetMessage> recv(int dst);
+
+  // Failure-path escape hatch: allocation-free, so it works even when the
+  // empty-LET compensation post cannot be built. A peer blocked in recv()
+  // then trips recv's closed-early check instead of waiting forever.
+  void close(int dst);
+
+ private:
+  std::vector<std::unique_ptr<Channel<LetMessage>>> mailboxes_;
+  std::vector<std::size_t> remaining_;  // per-dst, touched only by its consumer
+};
+
+}  // namespace bonsai::domain

@@ -50,6 +50,41 @@ Decomposition Decomposition::from_samples(std::vector<sfc::Key> samples, int nra
   return from_boundaries(std::move(bounds));
 }
 
+Decomposition Decomposition::from_weighted_samples(std::vector<WeightedKey> samples,
+                                                   int nranks, int snap_level) {
+  BONSAI_CHECK(nranks >= 1);
+  BONSAI_CHECK(snap_level >= 0 && snap_level <= sfc::kMaxLevel);
+  double total = 0.0;
+  for (const WeightedKey& s : samples) total += std::max(s.weight, 0.0);
+  if (samples.empty() || nranks == 1 || !(total > 0.0)) {
+    std::vector<sfc::Key> keys;
+    keys.reserve(samples.size());
+    for (const WeightedKey& s : samples) keys.push_back(s.key);
+    return from_samples(std::move(keys), nranks, snap_level);
+  }
+
+  std::sort(samples.begin(), samples.end(),
+            [](const WeightedKey& a, const WeightedKey& b) { return a.key < b.key; });
+  std::vector<sfc::Key> bounds;
+  bounds.reserve(static_cast<std::size_t>(nranks) + 1);
+  bounds.push_back(0);
+  double cum = 0.0;
+  std::size_t i = 0;
+  for (int r = 1; r < nranks; ++r) {
+    // First sample whose cumulative weight reaches the r-th weight quantile
+    // becomes the cut (the equal-count cut is the weight==1 special case).
+    const double cut = total * static_cast<double>(r) / static_cast<double>(nranks);
+    while (i + 1 < samples.size() && cum + std::max(samples[i].weight, 0.0) < cut)
+      cum += std::max(samples[i++].weight, 0.0);
+    sfc::Key b = samples[i].key;
+    if (snap_level > 0) b = sfc::cell_first_key(b, snap_level);
+    b = std::max(b, bounds.back());
+    bounds.push_back(b);
+  }
+  bounds.push_back(sfc::kKeyEnd);
+  return from_boundaries(std::move(bounds));
+}
+
 int Decomposition::rank_of(sfc::Key key) const {
   BONSAI_ASSERT(key < sfc::kKeyEnd);
   // Count interior boundaries <= key; bounds_ = {0, b_1, ..., b_{n-1}, end}.

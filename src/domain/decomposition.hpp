@@ -45,6 +45,21 @@ class Decomposition {
   static Decomposition from_samples(std::vector<sfc::Key> samples, int nranks,
                                     int snap_level = kDefaultSnapLevel);
 
+  // A sampled key together with the relative cost it represents (e.g. the
+  // owner rank's measured gravity seconds per particle).
+  struct WeightedKey {
+    sfc::Key key;
+    double weight;
+  };
+
+  // Cost-weighted boundaries (the paper balances domains on measured
+  // tree-walk cost, §III-B1): cut the sorted samples at equal cumulative
+  // *weight* rather than equal count, so regions that were expensive last
+  // step shrink. Non-positive weights count as zero; if no weight survives,
+  // falls back to the equal-count cut over the same keys.
+  static Decomposition from_weighted_samples(std::vector<WeightedKey> samples, int nranks,
+                                             int snap_level = kDefaultSnapLevel);
+
   int num_ranks() const { return static_cast<int>(bounds_.size()) - 1; }
 
   // Owner rank of a key (keys are always < kKeyEnd).

@@ -19,6 +19,12 @@
 
 namespace bonsai::domain {
 
+// How redistribute() places the domain boundaries.
+enum class BalanceMode {
+  kCount,  // equalize sampled particle counts (quantile cuts)
+  kCost,   // weight samples by the owner rank's measured gravity s/particle
+};
+
 // Per-step knobs shared by every rank (the Simulation owns the authoritative
 // copy; ranks receive it by const reference each stage).
 struct SimConfig {
@@ -33,6 +39,10 @@ struct SimConfig {
   std::size_t samples_per_rank = 4096;        // boundary-key samples per rank
   int snap_level = 8;                         // boundary snap (0 = off)
   std::size_t threads_per_rank = 0;           // 0: hardware threads / nranks
+  bool async = true;                          // overlapped per-rank pipeline;
+                                              // false = lockstep stage loop
+  BalanceMode balance = BalanceMode::kCount;  // feedback balancing needs a
+                                              // previous step's gravity times
 
   TraversalConfig traversal() const {
     TraversalConfig t;

@@ -1,0 +1,84 @@
+#include "domain/schedule.hpp"
+
+#include <algorithm>
+
+namespace bonsai::domain {
+
+namespace {
+
+struct Arrival {
+  double time;
+  double remote_seconds;  // the receiver-side walk cost of this LET
+};
+
+// Completion time of the dependency graph. `include_build` prepends each
+// lane's sort/build/props chain (the gravity-only model instead assumes a
+// common start, matching the lockstep gravity baseline it is compared with).
+double dag_finish(std::span<const LaneTimeline> lanes, bool include_build,
+                  bool include_integrate) {
+  const std::size_t n = lanes.size();
+  std::vector<double> build_done(n, 0.0);
+  for (std::size_t r = 0; r < n; ++r)
+    if (include_build)
+      build_done[r] = lanes[r].sort + lanes[r].build + lanes[r].props;
+
+  // Sender side: LET (s -> d) is on the wire once s has finished the exports
+  // preceding it in send order. The receiver-side walk cost for that LET is
+  // looked up in d's remotes record.
+  std::vector<std::vector<Arrival>> arrivals(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    double t = build_done[s];
+    for (const auto& [dst, secs] : lanes[s].exports) {
+      t += secs;
+      double walk = 0.0;
+      for (const auto& [src, rsecs] : lanes[static_cast<std::size_t>(dst)].remotes)
+        if (src == static_cast<int>(s)) walk = rsecs;
+      arrivals[static_cast<std::size_t>(dst)].push_back({t, walk});
+    }
+  }
+
+  double finish = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    double t = build_done[r];
+    for (const auto& [dst, secs] : lanes[r].exports) t += secs;
+    t += lanes[r].local;
+    std::sort(arrivals[r].begin(), arrivals[r].end(),
+              [](const Arrival& a, const Arrival& b) { return a.time < b.time; });
+    for (const Arrival& a : arrivals[r]) t = std::max(t, a.time) + a.remote_seconds;
+    if (include_integrate) t += lanes[r].integrate;
+    finish = std::max(finish, t);
+  }
+  return finish;
+}
+
+}  // namespace
+
+ScheduleModel model_schedule(std::span<const LaneTimeline> lanes) {
+  ScheduleModel model;
+  if (lanes.empty()) return model;
+
+  double mx_sort = 0, mx_build = 0, mx_props = 0, mx_export = 0, mx_local = 0,
+         mx_remote = 0, mx_integrate = 0;
+  for (const LaneTimeline& lane : lanes) {
+    double exp_total = 0, rem_total = 0;
+    for (const auto& [dst, secs] : lane.exports) exp_total += secs;
+    for (const auto& [src, secs] : lane.remotes) rem_total += secs;
+    mx_sort = std::max(mx_sort, lane.sort);
+    mx_build = std::max(mx_build, lane.build);
+    mx_props = std::max(mx_props, lane.props);
+    mx_export = std::max(mx_export, exp_total);
+    mx_local = std::max(mx_local, lane.local);
+    mx_remote = std::max(mx_remote, rem_total);
+    mx_integrate = std::max(mx_integrate, lane.integrate);
+  }
+  model.sequential = mx_sort + mx_build + mx_props + mx_export + mx_local + mx_remote +
+                     mx_integrate;
+  model.gravity_sequential = mx_export + mx_local + mx_remote;
+  model.critical_path = dag_finish(lanes, /*include_build=*/true,
+                                   /*include_integrate=*/true);
+  model.gravity_critical = dag_finish(lanes, /*include_build=*/false,
+                                      /*include_integrate=*/false);
+  return model;
+}
+
+}  // namespace bonsai::domain

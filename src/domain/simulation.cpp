@@ -5,6 +5,7 @@
 #include <ostream>
 #include <thread>
 
+#include "domain/channel.hpp"
 #include "util/check.hpp"
 #include "util/table.hpp"
 
@@ -19,18 +20,36 @@ const char* const kStageOrder[] = {
     "Gravity local", "Gravity remote", "Integration",
 };
 
-std::size_t threads_for(const SimConfig& cfg) {
-  if (cfg.threads_per_rank > 0) return cfg.threads_per_rank;
-  const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
-  return std::max<std::size_t>(1, hw / static_cast<std::size_t>(cfg.nranks));
+// Gravity performance figures shared by the text table and the JSON report,
+// derived once so the two renderers cannot drift apart.
+struct GravityRates {
+  double gflops_device;    // flops / summed gravity device-seconds
+  double gflops_parallel;  // flops / max-over-ranks gravity seconds
+};
+
+GravityRates gravity_rates(const StepReport& report) {
+  const std::uint64_t flops = report.stats().flops();
+  const double grav_sum =
+      report.sum_times.get("Gravity local") + report.sum_times.get("Gravity remote");
+  const double grav_max =
+      report.max_times.get("Gravity local") + report.max_times.get("Gravity remote");
+  return {gflops_rate(flops, grav_sum), gflops_rate(flops, grav_max)};
 }
 
 }  // namespace
 
+std::size_t threads_for(const SimConfig& cfg, std::size_t hardware_threads) {
+  const std::size_t hw = std::max<std::size_t>(1, hardware_threads);
+  const std::size_t share =
+      std::max<std::size_t>(1, hw / static_cast<std::size_t>(std::max(cfg.nranks, 1)));
+  if (cfg.threads_per_rank == 0) return share;
+  return std::min(cfg.threads_per_rank, cfg.async ? share : hw);
+}
+
 Simulation::Simulation(const SimConfig& cfg) : cfg_(cfg) {
   BONSAI_CHECK(cfg_.nranks >= 1);
   BONSAI_CHECK_MSG(cfg_.nranks <= 255, "grafted LET forests fan out to at most 255 ranks");
-  const std::size_t threads = threads_for(cfg_);
+  const std::size_t threads = threads_for(cfg_, std::thread::hardware_concurrency());
   ranks_.reserve(static_cast<std::size_t>(cfg_.nranks));
   for (int r = 0; r < cfg_.nranks; ++r)
     ranks_.push_back(std::make_unique<Rank>(r, threads));
@@ -40,6 +59,8 @@ Simulation::Simulation(const SimConfig& cfg) : cfg_(cfg) {
 void Simulation::init(ParticleSet global) {
   ranks_[0]->parts() = std::move(global);
   for (std::size_t r = 1; r < ranks_.size(); ++r) ranks_[r]->parts().clear();
+  prev_gravity_seconds_.clear();
+  prev_rank_size_.clear();
   StepReport scratch;
   TimeBreakdown driver;
   redistribute(scratch, driver);
@@ -61,12 +82,32 @@ void Simulation::redistribute(StepReport& report, TimeBreakdown& driver_times) {
     const std::size_t target =
         cfg_.samples_per_rank * static_cast<std::size_t>(cfg_.nranks);
     const std::size_t stride = std::max<std::size_t>(1, total / std::max<std::size_t>(1, target));
-    std::vector<sfc::Key> samples;
-    for (const auto& rank : ranks_) {
-      const auto s = sample_keys(rank->parts(), space_, stride);
-      samples.insert(samples.end(), s.begin(), s.end());
+
+    // Feedback balancing: weight rank r's samples by its measured gravity
+    // seconds per particle from the previous step, so expensive regions
+    // shrink. The floor keeps a region whose timings underflowed from
+    // collapsing to nothing; before any step has been timed, weights are
+    // uniform and the cut degrades to the equal-count quantiles.
+    std::vector<double> weight(ranks_.size(), 1.0);
+    if (cfg_.balance == BalanceMode::kCost &&
+        prev_gravity_seconds_.size() == ranks_.size()) {
+      double max_w = 0.0;
+      for (std::size_t r = 0; r < ranks_.size(); ++r) {
+        weight[r] = prev_rank_size_[r] > 0
+                        ? prev_gravity_seconds_[r] / static_cast<double>(prev_rank_size_[r])
+                        : 0.0;
+        max_w = std::max(max_w, weight[r]);
+      }
+      for (double& w : weight) w = std::max(w, 1e-3 * max_w);
     }
-    decomp_ = Decomposition::from_samples(std::move(samples), cfg_.nranks, cfg_.snap_level);
+
+    std::vector<Decomposition::WeightedKey> samples;
+    for (std::size_t r = 0; r < ranks_.size(); ++r) {
+      const auto s = sample_keys(ranks_[r]->parts(), space_, stride);
+      for (const sfc::Key k : s) samples.push_back({k, weight[r]});
+    }
+    decomp_ =
+        Decomposition::from_weighted_samples(std::move(samples), cfg_.nranks, cfg_.snap_level);
   }
   {
     ScopedTimer t(driver_times, "Exchange particles");
@@ -84,13 +125,179 @@ void Simulation::redistribute(StepReport& report, TimeBreakdown& driver_times) {
 StepReport Simulation::step() {
   StepReport report;
   report.step = next_step_++;
+  report.async = cfg_.async;
   WallTimer wall;
 
   const std::size_t nranks = ranks_.size();
   TimeBreakdown driver_times;
   std::vector<TimeBreakdown> rank_times(nranks);
+  std::vector<LaneTimeline> lanes;
 
   redistribute(report, driver_times);
+
+  if (cfg_.async) {
+    lanes.resize(nranks);
+    step_async(report, rank_times, lanes);
+    const ScheduleModel model = model_schedule(lanes);
+    report.critical_path = model.critical_path;
+    report.sequential_model = model.sequential;
+    report.gravity_critical = model.gravity_critical;
+    report.gravity_sequential = model.gravity_sequential;
+  } else {
+    step_lockstep(report, rank_times);
+  }
+
+  // Feed measured gravity cost back into the next domain update.
+  prev_gravity_seconds_.assign(nranks, 0.0);
+  prev_rank_size_.assign(nranks, 0);
+  for (std::size_t r = 0; r < nranks; ++r) {
+    prev_gravity_seconds_[r] =
+        rank_times[r].get("Gravity local") + rank_times[r].get("Gravity remote");
+    prev_rank_size_[r] = ranks_[r]->parts().size();
+  }
+
+  // Fold driver-level and per-rank stage times into the two aggregate views.
+  for (const char* stage : kStageOrder) {
+    const double drv = driver_times.get(stage);
+    double mx = drv, sum = drv;
+    for (const TimeBreakdown& t : rank_times) {
+      const double v = t.get(stage);
+      mx = std::max(mx, v);
+      sum += v;
+    }
+    if (mx > 0.0 || sum > 0.0) {
+      report.max_times.add(stage, mx);
+      report.sum_times.add(stage, sum);
+    }
+  }
+  report.elapsed = wall.elapsed();
+  return report;
+}
+
+void Simulation::step_async(StepReport& report, std::vector<TimeBreakdown>& rank_times,
+                            std::vector<LaneTimeline>& lanes) {
+  const std::size_t nranks = ranks_.size();
+
+  // The active set (senders and receivers of LETs) and every rank's domain
+  // box are fixed before the lanes start: the tree root box equals the tight
+  // particle bounds, so receivers' boxes need not wait for their builds.
+  std::vector<std::uint8_t> active(nranks, 0);
+  std::vector<AABB> boxes(nranks);
+  for (std::size_t r = 0; r < nranks; ++r) {
+    active[r] = !ranks_[r]->parts().empty();
+    if (active[r]) boxes[r] = ranks_[r]->parts().bounds();
+  }
+
+  LetExchange net(active);
+  if (!executor_) executor_ = std::make_unique<Executor>(nranks);
+
+  std::vector<std::uint64_t> let_cells(nranks, 0), let_parts(nranks, 0);
+  std::vector<InteractionStats> local_stats(nranks), remote_stats(nranks);
+  std::vector<std::exception_ptr> errors(nranks);
+
+  std::vector<std::future<void>> done;
+  done.reserve(nranks);
+
+  // Failure path: a lane that cannot run (or finish) its export loop still
+  // owes LETs to peers that will block in recv() for them. Deliver the owed
+  // messages as empties (they exert no force) starting at round-robin offset
+  // `first_peer`; if even a compensation post fails, close the peer's
+  // mailbox — allocation-free — so its recv() fails fast instead of hanging.
+  auto post_owed = [&](std::size_t src, std::size_t first_peer) {
+    for (std::size_t k = first_peer; k < nranks; ++k) {
+      const std::size_t dst = (src + k) % nranks;
+      if (!active[dst]) continue;
+      try {
+        net.post(static_cast<int>(src), static_cast<int>(dst), LetTree{}, 0.0);
+      } catch (...) {
+        net.close(static_cast<int>(dst));
+      }
+    }
+  };
+
+  auto submit_lane = [&](std::size_t r) {
+    done.push_back(executor_->run(r, [&, r] {
+      // Peers receive LETs round-robin from r+1 so senders spread across
+      // receivers instead of all extracting for rank 0 first. Tracked
+      // outside the try so the failure path knows which posts are owed.
+      std::size_t next_peer = 1;
+      try {
+        Rank& rank = *ranks_[r];
+        TimeBreakdown& times = rank_times[r];
+        LaneTimeline& lane = lanes[r];
+
+        rank.build(space_, cfg_, times);
+        lane.sort = times.get("Sorting SFC");
+        lane.build = times.get("Tree-construction");
+        lane.props = times.get("Tree-properties");
+
+        if (active[r]) {
+          for (; next_peer < nranks; ++next_peer) {
+            const std::size_t dst = (r + next_peer) % nranks;
+            if (!active[dst]) continue;
+            WallTimer timer;
+            LetTree let = rank.export_let(boxes[dst]);
+            const double secs = timer.elapsed();
+            times.add("Exchange LET", secs);
+            lane.exports.emplace_back(static_cast<int>(dst), secs);
+            let_cells[r] += let.num_cells();
+            let_parts[r] += let.num_particles();
+            net.post(static_cast<int>(r), static_cast<int>(dst), std::move(let), secs);
+          }
+
+          rank.parts().zero_forces();
+          local_stats[r] = rank.gravity_local(cfg_, times);
+          lane.local = times.get("Gravity local");
+
+          // Remote gravity per imported LET, in arrival order — no graft
+          // barrier; the walk accepts any self-contained TreeView.
+          while (std::optional<LetMessage> msg = net.recv(static_cast<int>(r))) {
+            const double before = times.get("Gravity remote");
+            remote_stats[r] += rank.gravity_remote(msg->let.view(), cfg_, times);
+            lane.remotes.emplace_back(msg->src, times.get("Gravity remote") - before);
+          }
+        } else {
+          rank.parts().zero_forces();
+        }
+
+        if (cfg_.dt != 0.0) rank.integrate(cfg_.dt, times);
+        lane.integrate = times.get("Integration");
+      } catch (...) {
+        errors[r] = std::current_exception();
+        // Every lane must return before the driver can rethrow (it owns the
+        // state the lanes reference), so unblock the peers first.
+        if (active[r]) post_owed(r, next_peer);
+      }
+    }));
+  };
+  std::size_t submitted = 0;
+  std::exception_ptr submit_error;
+  try {
+    for (; submitted < nranks; ++submitted) submit_lane(submitted);
+  } catch (...) {
+    // A submission itself threw (allocation of the task): lanes never
+    // submitted owe their whole complement of LETs.
+    submit_error = std::current_exception();
+    for (std::size_t s = submitted; s < nranks; ++s)
+      if (active[s]) post_owed(s, 1);
+  }
+  // Lanes trap their own exceptions, so these waits always complete; only
+  // then is it safe to unwind the mailboxes/timelines the lanes reference.
+  for (std::future<void>& f : done) f.wait();
+  if (submit_error) std::rethrow_exception(submit_error);
+  for (const std::exception_ptr& e : errors)
+    if (e) std::rethrow_exception(e);
+
+  for (std::size_t r = 0; r < nranks; ++r) {
+    report.let_cells += let_cells[r];
+    report.let_particles += let_parts[r];
+    report.local_stats += local_stats[r];
+    report.remote_stats += remote_stats[r];
+  }
+}
+
+void Simulation::step_lockstep(StepReport& report, std::vector<TimeBreakdown>& rank_times) {
+  const std::size_t nranks = ranks_.size();
 
   for (std::size_t r = 0; r < nranks; ++r)
     ranks_[r]->build(space_, cfg_, rank_times[r]);
@@ -125,23 +332,6 @@ StepReport Simulation::step() {
   if (cfg_.dt != 0.0)
     for (std::size_t r = 0; r < nranks; ++r)
       ranks_[r]->integrate(cfg_.dt, rank_times[r]);
-
-  // Fold driver-level and per-rank stage times into the two aggregate views.
-  for (const char* stage : kStageOrder) {
-    const double drv = driver_times.get(stage);
-    double mx = drv, sum = drv;
-    for (const TimeBreakdown& t : rank_times) {
-      const double v = t.get(stage);
-      mx = std::max(mx, v);
-      sum += v;
-    }
-    if (mx > 0.0 || sum > 0.0) {
-      report.max_times.add(stage, mx);
-      report.sum_times.add(stage, sum);
-    }
-  }
-  report.elapsed = wall.elapsed();
-  return report;
 }
 
 ParticleSet Simulation::gather() const {
@@ -209,16 +399,59 @@ void print_step_report(const StepReport& report, std::ostream& os) {
   table.print(os);
 
   const InteractionStats stats = report.stats();
-  const double grav_sum =
-      report.sum_times.get("Gravity local") + report.sum_times.get("Gravity remote");
-  const double grav_max =
-      report.max_times.get("Gravity local") + report.max_times.get("Gravity remote");
+  const GravityRates rates = gravity_rates(report);
   os << "interactions: p2p/particle="
      << TextTable::num(stats.p2p_per_particle(report.num_particles), 1)
      << " p2c/particle=" << TextTable::num(stats.p2c_per_particle(report.num_particles), 1)
-     << " | gravity " << TextTable::num(gflops_rate(stats.flops(), grav_sum), 2)
-     << " Gflop/s (device), " << TextTable::num(gflops_rate(stats.flops(), grav_max), 2)
+     << " | gravity " << TextTable::num(rates.gflops_device, 2)
+     << " Gflop/s (device), " << TextTable::num(rates.gflops_parallel, 2)
      << " Gflop/s (parallel model)\n";
+
+  if (report.async) {
+    os << "pipeline: critical path " << TextTable::num(report.critical_path * 1e3)
+       << " ms vs " << TextTable::num(report.sequential_model * 1e3)
+       << " ms lockstep stage-sum -> overlap efficiency "
+       << TextTable::num(report.overlap_efficiency(), 2) << "x\n"
+       << "  gravity+LET: " << TextTable::num(report.gravity_critical * 1e3)
+       << " ms pipelined vs " << TextTable::num(report.gravity_sequential * 1e3)
+       << " ms sequential max-sum (Exchange LET + Gravity local + Gravity remote)\n";
+  }
+}
+
+void write_step_report_json(std::span<const StepReport> reports, std::ostream& os) {
+  const auto flags = os.flags();
+  const auto precision = os.precision(12);
+  os << "[";
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const StepReport& r = reports[i];
+    const InteractionStats stats = r.stats();
+    const GravityRates rates = gravity_rates(r);
+    os << (i == 0 ? "\n" : ",\n")
+       << "  {\"step\": " << r.step << ", \"async\": " << (r.async ? "true" : "false")
+       << ", \"num_particles\": " << r.num_particles << ", \"migrated\": " << r.migrated
+       << ", \"let_cells\": " << r.let_cells << ", \"let_particles\": " << r.let_particles
+       << ",\n   \"elapsed_s\": " << r.elapsed
+       << ", \"critical_path_s\": " << r.critical_path
+       << ", \"sequential_model_s\": " << r.sequential_model
+       << ", \"gravity_critical_s\": " << r.gravity_critical
+       << ", \"gravity_sequential_s\": " << r.gravity_sequential
+       << ", \"overlap_efficiency\": " << r.overlap_efficiency()
+       << ",\n   \"p2p\": " << stats.p2p << ", \"p2c\": " << stats.p2c
+       << ", \"flops\": " << stats.flops()
+       << ", \"gflops_device\": " << rates.gflops_device
+       << ", \"gflops_parallel\": " << rates.gflops_parallel
+       << ",\n   \"stages\": {";
+    const auto& entries = r.max_times.entries();
+    for (std::size_t e = 0; e < entries.size(); ++e) {
+      os << (e == 0 ? "" : ", ") << '"' << entries[e].name << "\": {\"max_s\": "
+         << entries[e].seconds << ", \"sum_s\": " << r.sum_times.get(entries[e].name)
+         << '}';
+    }
+    os << "}}";
+  }
+  os << "\n]\n";
+  os.precision(precision);
+  os.flags(flags);
 }
 
 }  // namespace bonsai::domain

@@ -3,22 +3,37 @@
 //
 //   domain update (sampled boundary keys)  ->  particle exchange
 //   -> per-rank sort / tree build / properties
-//   -> LET exchange (sender-side extraction, receiver-side graft)
-//   -> gravity: local tree walk + grafted-LET walk
+//   -> LET exchange (sender-side extraction, receiver-side walk)
+//   -> gravity: local tree walk + imported-LET walks
 //   -> integration
 //
-// Ranks are driven sequentially here (each with its own Device thread pool);
-// per-stage timings are recorded per rank so the report can show both the
-// parallel-model wall-clock (max over ranks) and total device-seconds (sum),
-// the way Table II reports per-process times.
+// Two schedules drive the ranks (SimConfig::async):
+//
+// * async (default, §III-B3): one Executor lane per rank runs the whole
+//   pipeline independently; LETs travel through nonblocking Channel
+//   mailboxes, and a rank starts remote gravity on each imported LET as soon
+//   as it arrives — local gravity is not a barrier, and there is no global
+//   graft step. The step report carries the modeled critical path vs the
+//   lockstep stage-sum (overlap efficiency).
+// * lockstep (--no-async): every stage completes on all ranks before the
+//   next begins, with imported LETs grafted into one forest — the PR-1
+//   schedule, kept for differential testing.
+//
+// Per-stage timings are recorded per rank either way, so the report can show
+// the parallel-model wall-clock (max over ranks) and total device-seconds
+// (sum), the way Table II reports per-process times.
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "domain/decomposition.hpp"
+#include "domain/executor.hpp"
 #include "domain/rank.hpp"
+#include "domain/schedule.hpp"
 #include "util/flops.hpp"
 #include "util/timer.hpp"
 
@@ -27,6 +42,7 @@ namespace bonsai::domain {
 // Everything one step produces, for printing and for tests.
 struct StepReport {
   int step = 0;
+  bool async = false;  // which schedule produced this report
   std::size_t num_particles = 0;
   std::uint64_t migrated = 0;       // particles that changed rank this step
   std::uint64_t let_cells = 0;      // total exported LET nodes
@@ -36,8 +52,35 @@ struct StepReport {
   TimeBreakdown sum_times;  // per-stage sum over ranks (device-seconds)
   double elapsed = 0.0;     // actual wall-clock of the whole step
 
+  // Schedule model (async steps only; see schedule.hpp): the pipelined
+  // critical path vs the lockstep stage-sum over the rank-concurrent stages,
+  // and the same pair restricted to Exchange LET + Gravity local + remote.
+  double critical_path = 0.0;
+  double sequential_model = 0.0;
+  double gravity_critical = 0.0;
+  double gravity_sequential = 0.0;
+
   InteractionStats stats() const { return local_stats + remote_stats; }
+
+  // How much faster the pipelined schedule completes than the lockstep one
+  // (>= 1; ratio of modeled times).
+  double overlap_efficiency() const {
+    return critical_path > 0.0 ? sequential_model / critical_path : 1.0;
+  }
 };
+
+// Thread-budget policy for per-rank device pools: R rank pipelines partition
+// the host's `hardware_threads`, each receiving floor(hw/R) workers (minimum
+// 1 — hosts with fewer cores than ranks run oversubscribed but correct; a
+// 1-core host gives every rank exactly one worker). The default is the same
+// share in *both* schedules, even though lockstep ranks compute one at a
+// time: equal device sizes keep recorded device-seconds comparable between
+// the schedules (the differential-testing point of --no-async), and avoid
+// spawning R*hw mostly-idle workers at high rank counts. An explicit
+// cfg.threads_per_rank is clamped to the per-rank share in async mode
+// (concurrent pipelines must not oversubscribe each other) but only to hw in
+// lockstep mode, where widening a rank's pool to the whole host is safe.
+std::size_t threads_for(const SimConfig& cfg, std::size_t hardware_threads);
 
 class Simulation {
  public:
@@ -69,14 +112,32 @@ class Simulation {
   // Domain update + particle exchange; records driver-level timings/counts.
   void redistribute(StepReport& report, TimeBreakdown& driver_times);
 
+  // The two step schedules; both leave valid forces on every rank and fill
+  // per-rank stage times. The async schedule also fills `lanes` for the
+  // pipeline model.
+  void step_async(StepReport& report, std::vector<TimeBreakdown>& rank_times,
+                  std::vector<LaneTimeline>& lanes);
+  void step_lockstep(StepReport& report, std::vector<TimeBreakdown>& rank_times);
+
   SimConfig cfg_;
   std::vector<std::unique_ptr<Rank>> ranks_;
+  std::unique_ptr<Executor> executor_;  // created on the first async step
   Decomposition decomp_;
   sfc::KeySpace space_;
   int next_step_ = 0;
+
+  // Feedback for BalanceMode::kCost: last step's per-rank gravity seconds
+  // and populations (empty before the first step).
+  std::vector<double> prev_gravity_seconds_;
+  std::vector<std::size_t> prev_rank_size_;
 };
 
-// Render a StepReport as the per-stage timing table (Table II layout).
+// Render a StepReport as the per-stage timing table (Table II layout), plus
+// the pipeline/overlap lines for async steps.
 void print_step_report(const StepReport& report, std::ostream& os);
+
+// Emit reports as a JSON array (the --bench trajectory format): per-stage
+// max/sum seconds, interaction counts, Gflop/s, and the schedule model.
+void write_step_report_json(std::span<const StepReport> reports, std::ostream& os);
 
 }  // namespace bonsai::domain

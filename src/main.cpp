@@ -4,8 +4,12 @@
 // decomposition (see src/domain/) and prints per-stage timing tables in the
 // style of Table II. `--validate` additionally checks the multi-rank forces
 // against a single-rank run and against direct summation.
+#include <algorithm>
 #include <cmath>
+#include <fstream>
 #include <iostream>
+#include <span>
+#include <string>
 #include <vector>
 
 #include "domain/simulation.hpp"
@@ -33,10 +37,29 @@ void print_usage() {
       "  --curve NAME   hilbert | morton (default hilbert)\n"
       "  --threads T    threads per rank (default: hardware/ranks)\n"
       "  --seed S       RNG seed (default 42)\n"
+      "  --async        overlapped per-rank pipeline (default)\n"
+      "  --no-async     lockstep stage loop (the PR-1 schedule, for diffing)\n"
+      "  --balance M    count | cost (feedback on measured gravity time)\n"
+      "  --bench FILE   write per-step reports as JSON to FILE\n"
       "  --validate     compare forces vs 1-rank run and direct summation\n";
 }
 
-int run_validation(const bonsai::domain::SimConfig& cfg, const bonsai::ParticleSet& initial) {
+// Write the --bench trajectory; returns false (with a message) on I/O error.
+bool write_bench(const std::string& path,
+                 std::span<const bonsai::domain::StepReport> reports) {
+  if (path.empty()) return true;
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "bonsai_sim: cannot open bench file: " << path << "\n";
+    return false;
+  }
+  bonsai::domain::write_step_report_json(reports, out);
+  std::cout << "bench: wrote " << reports.size() << " step report(s) to " << path << "\n";
+  return true;
+}
+
+int run_validation(const bonsai::domain::SimConfig& cfg, const bonsai::ParticleSet& initial,
+                   const std::string& bench_path) {
   using namespace bonsai;
   domain::SimConfig force_cfg = cfg;
   force_cfg.dt = 0.0;  // forces-only comparison
@@ -45,6 +68,7 @@ int run_validation(const bonsai::domain::SimConfig& cfg, const bonsai::ParticleS
   multi.init(initial);
   domain::StepReport rep = multi.step();
   print_step_report(rep, std::cout);
+  if (!write_bench(bench_path, {&rep, 1})) return 2;
   ParticleSet gathered = multi.gather();
 
   domain::SimConfig single_cfg = force_cfg;
@@ -105,28 +129,38 @@ int main(int argc, char** argv) {
   cfg.threads_per_rank = static_cast<std::size_t>(cli.get_int("threads", 0));
   cfg.curve = cli.get("curve", "hilbert") == "morton" ? bonsai::sfc::CurveType::kMorton
                                                       : bonsai::sfc::CurveType::kHilbert;
+  cfg.async = cli.get_bool("async", true) && !cli.get_bool("no-async", false);
+  cfg.balance = cli.get("balance", "count") == "cost" ? bonsai::domain::BalanceMode::kCost
+                                                      : bonsai::domain::BalanceMode::kCount;
+  const std::string bench_path = cli.get("bench", "");
   const auto steps = static_cast<int>(cli.get_int("steps", 4));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
 
   std::cout << "bonsai_sim: n=" << n << " ranks=" << cfg.nranks << " theta=" << cfg.theta
-            << " eps=" << cfg.eps << " dt=" << cfg.dt << " steps=" << steps << "\n";
+            << " eps=" << cfg.eps << " dt=" << cfg.dt << " steps=" << steps
+            << (cfg.async ? " schedule=async" : " schedule=lockstep")
+            << (cfg.balance == bonsai::domain::BalanceMode::kCost ? " balance=cost" : "")
+            << "\n";
 
   const bonsai::ParticleSet initial = bonsai::make_plummer(n, seed);
 
   try {
-    if (cli.get_bool("validate", false)) return run_validation(cfg, initial);
+    if (cli.get_bool("validate", false)) return run_validation(cfg, initial, bench_path);
 
     bonsai::domain::Simulation sim(cfg);
     sim.init(initial);
+    std::vector<bonsai::domain::StepReport> reports;
+    reports.reserve(static_cast<std::size_t>(std::max(steps, 0)));
     for (int s = 0; s < steps; ++s) {
-      const bonsai::domain::StepReport rep = sim.step();
-      print_step_report(rep, std::cout);
+      reports.push_back(sim.step());
+      print_step_report(reports.back(), std::cout);
       const double ke = sim.kinetic_energy();
       const double pe = sim.potential_energy();
       std::cout << "energy: K=" << bonsai::TextTable::num(ke, 6)
                 << " W=" << bonsai::TextTable::num(pe, 6)
                 << " E=" << bonsai::TextTable::num(ke + pe, 6) << "\n\n";
     }
+    if (!write_bench(bench_path, reports)) return 2;
   } catch (const std::exception& e) {
     std::cerr << "bonsai_sim: fatal: " << e.what() << "\n";
     return 2;

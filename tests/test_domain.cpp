@@ -7,6 +7,8 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "domain/decomposition.hpp"
@@ -235,16 +237,24 @@ TEST(Let, GraftOfEmptyLetsIsEmpty) {
   EXPECT_TRUE(domain::graft_lets(lets, 0.4).view().empty());
 }
 
-TEST(Simulation, OneRankMatchesGlobalGroupWalkExactly) {
+// Both schedules must reproduce the global group walk bit-for-bit on one
+// rank: no LETs exist, so async adds only the executor lane around the same
+// stage calls (the "single-rank case under the async path" contract).
+class OneRankExactness : public ::testing::TestWithParam<bool> {};
+
+TEST_P(OneRankExactness, MatchesGlobalGroupWalkExactly) {
   const ParticleSet global = make_plummer(1500, 23);
   SimConfig cfg;
   cfg.nranks = 1;
   cfg.theta = 0.4;
   cfg.eps = 1e-3;
   cfg.dt = 0.0;
+  cfg.async = GetParam();
   Simulation sim(cfg);
   sim.init(global);
-  sim.step();
+  const domain::StepReport rep = sim.step();
+  EXPECT_EQ(rep.async, cfg.async);
+  EXPECT_EQ(rep.let_cells, 0u);  // nothing to exchange with yourself
   const ParticleSet got = sim.gather();
 
   const ParticleSet ref = global_tree_forces(global, cfg.theta, cfg.eps);
@@ -257,6 +267,11 @@ TEST(Simulation, OneRankMatchesGlobalGroupWalkExactly) {
     EXPECT_DOUBLE_EQ(got.pot[i], ref.pot[i]);
   }
 }
+
+INSTANTIATE_TEST_SUITE_P(Schedules, OneRankExactness, ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "Async" : "Lockstep";
+                         });
 
 TEST(Simulation, MultiRankForcesMatchSingleTreeAndDirect) {
   const ParticleSet global = make_plummer(3000, 19);
@@ -312,6 +327,185 @@ TEST(Simulation, DegenerateDistributionLeavesRanksEmpty) {
   direct_forces(ref, cfg.eps);
   for (std::size_t i = 0; i < ref.size(); ++i)
     EXPECT_NEAR(norm(got.acc(i) - ref.acc(i)), 0.0, 1e-6 * std::max(1.0, norm(ref.acc(i))));
+}
+
+TEST(Simulation, AsyncAndLockstepSchedulesAgree) {
+  // Differential test of the two step drivers on the same IC. The schedules
+  // are not bit-identical by design — async walks each imported LET
+  // separately while lockstep walks the grafted forest, whose synthetic root
+  // carries its own MAC — but both must sit on the same single-rank answer.
+  const ParticleSet global = make_plummer(3000, 67);
+  SimConfig cfg;
+  cfg.nranks = 4;
+  cfg.theta = 0.4;
+  cfg.eps = 1e-3;
+  cfg.dt = 0.0;
+
+  cfg.async = true;
+  Simulation async_sim(cfg);
+  async_sim.init(global);
+  const domain::StepReport async_rep = async_sim.step();
+  const ParticleSet async_got = async_sim.gather();
+
+  cfg.async = false;
+  Simulation lock_sim(cfg);
+  lock_sim.init(global);
+  const domain::StepReport lock_rep = lock_sim.step();
+  const ParticleSet lock_got = lock_sim.gather();
+
+  // Same decomposition, same LET traffic on both schedules.
+  EXPECT_EQ(async_rep.let_cells, lock_rep.let_cells);
+  EXPECT_EQ(async_rep.let_particles, lock_rep.let_particles);
+  EXPECT_LT(median_acc_error(async_got, lock_got), 1e-6);
+
+  const ParticleSet tree_ref = global_tree_forces(global, cfg.theta, cfg.eps);
+  EXPECT_LT(median_acc_error(async_got, tree_ref), 5e-4);
+  EXPECT_LT(median_acc_error(lock_got, tree_ref), 5e-4);
+}
+
+TEST(Simulation, AsyncStepReportsScheduleModel) {
+  SimConfig cfg;
+  cfg.nranks = 4;
+  cfg.theta = 0.4;
+  cfg.eps = 1e-2;
+  cfg.dt = 0.0;
+  cfg.async = true;
+  Simulation sim(cfg);
+  sim.init(make_plummer(2000, 3));
+  const domain::StepReport rep = sim.step();
+
+  ASSERT_TRUE(rep.async);
+  EXPECT_GT(rep.critical_path, 0.0);
+  EXPECT_GT(rep.sequential_model, 0.0);
+  // Pipelining removes barrier wait but never adds work, so the modeled
+  // critical path can never exceed the lockstep stage-sum (see schedule.hpp).
+  EXPECT_LE(rep.critical_path, rep.sequential_model * (1.0 + 1e-9));
+  EXPECT_LE(rep.gravity_critical, rep.gravity_sequential * (1.0 + 1e-9));
+  EXPECT_GE(rep.overlap_efficiency(), 1.0);
+
+  // Lockstep steps don't model a schedule.
+  cfg.async = false;
+  Simulation lock(cfg);
+  lock.init(make_plummer(2000, 3));
+  const domain::StepReport lock_rep = lock.step();
+  EXPECT_FALSE(lock_rep.async);
+  EXPECT_EQ(lock_rep.critical_path, 0.0);
+}
+
+TEST(Simulation, AsyncLaneFailurePropagatesInsteadOfHanging) {
+  // ncrit = 0 makes make_groups throw inside every lane's build stage. The
+  // driver must surface the error: lanes that fail still owe their LETs to
+  // peers blocked in recv(), so without the failure path this test hangs
+  // (and trips the ctest timeout) instead of throwing.
+  SimConfig cfg;
+  cfg.nranks = 4;
+  cfg.ncrit = 0;
+  cfg.dt = 0.0;
+  cfg.async = true;
+  Simulation sim(cfg);
+  sim.init(make_plummer(200, 9));
+  EXPECT_THROW(sim.step(), std::exception);
+}
+
+TEST(Simulation, ZeroParticlesUnderAsyncPath) {
+  SimConfig cfg;
+  cfg.nranks = 4;
+  cfg.theta = 0.4;
+  cfg.dt = 1e-3;
+  cfg.async = true;
+  Simulation sim(cfg);
+  sim.init(ParticleSet{});
+  for (int s = 0; s < 2; ++s) {
+    const domain::StepReport rep = sim.step();
+    EXPECT_EQ(rep.num_particles, 0u);
+    EXPECT_EQ(rep.let_cells, 0u);
+    std::ostringstream os;
+    print_step_report(rep, os);  // no divisions by zero, no NaNs
+    EXPECT_NE(os.str().find("n=0"), std::string::npos);
+    EXPECT_EQ(os.str().find("nan"), std::string::npos);
+  }
+  EXPECT_EQ(sim.gather().size(), 0u);
+  EXPECT_EQ(sim.kinetic_energy(), 0.0);
+}
+
+TEST(Simulation, BenchJsonIsWellFormed) {
+  SimConfig cfg;
+  cfg.nranks = 2;
+  cfg.theta = 0.4;
+  cfg.dt = 1e-3;
+  Simulation sim(cfg);
+  sim.init(make_plummer(500, 11));
+  std::vector<domain::StepReport> reports;
+  reports.push_back(sim.step());
+  reports.push_back(sim.step());
+  std::ostringstream os;
+  write_step_report_json(reports, os);
+  const std::string json = os.str();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json[json.size() - 2], ']');  // trailing newline after the array
+  EXPECT_NE(json.find("\"step\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"step\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"overlap_efficiency\""), std::string::npos);
+  EXPECT_NE(json.find("\"Gravity local\""), std::string::npos);
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+  EXPECT_EQ(json.find("inf"), std::string::npos);
+}
+
+TEST(Decomposition, WeightedSamplesShiftBoundariesTowardCheapRegions) {
+  // 1000 uniform keys; the lower half carries 3x the cost per sample. With
+  // two ranks the equal-weight cut lands where cumulative weight reaches
+  // half of 3*500 + 500 = 2000, i.e. sample ~333 — well below the midpoint.
+  std::vector<Decomposition::WeightedKey> samples;
+  const sfc::Key span = sfc::kKeyEnd / 1000;
+  for (int i = 0; i < 1000; ++i)
+    samples.push_back({span * static_cast<sfc::Key>(i), i < 500 ? 3.0 : 1.0});
+  const Decomposition d =
+      Decomposition::from_weighted_samples(samples, 2, /*snap_level=*/0);
+  const sfc::Key cut = d.end_key(0);
+  EXPECT_GT(cut, span * 300);
+  EXPECT_LT(cut, span * 370);
+
+  // Uniform weights reproduce the equal-count quantile cut.
+  for (auto& s : samples) s.weight = 1.0;
+  const Decomposition u =
+      Decomposition::from_weighted_samples(samples, 2, /*snap_level=*/0);
+  EXPECT_GT(u.end_key(0), span * 480);
+  EXPECT_LT(u.end_key(0), span * 520);
+}
+
+TEST(Decomposition, WeightlessSamplesFallBackToCountQuantiles) {
+  std::vector<Decomposition::WeightedKey> weighted;
+  std::vector<sfc::Key> plain;
+  const sfc::Key span = sfc::kKeyEnd / 64;
+  for (int i = 0; i < 64; ++i) {
+    weighted.push_back({span * static_cast<sfc::Key>(i), 0.0});
+    plain.push_back(span * static_cast<sfc::Key>(i));
+  }
+  const Decomposition w = Decomposition::from_weighted_samples(weighted, 4);
+  const Decomposition c = Decomposition::from_samples(plain, 4);
+  for (int r = 0; r < 4; ++r) EXPECT_EQ(w.begin_key(r), c.begin_key(r));
+}
+
+TEST(Simulation, CostBalanceConvergesWithoutLosingParticles) {
+  const std::size_t n = 1500;
+  SimConfig cfg;
+  cfg.nranks = 4;
+  cfg.theta = 0.4;
+  cfg.eps = 1e-2;
+  cfg.dt = 1e-3;
+  cfg.balance = domain::BalanceMode::kCost;
+  Simulation sim(cfg);
+  sim.init(make_plummer(n, 47));
+  for (int s = 0; s < 4; ++s) {
+    const domain::StepReport rep = sim.step();
+    EXPECT_EQ(rep.num_particles, n);
+  }
+  const ParticleSet got = sim.gather();
+  ASSERT_EQ(got.size(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(got.id[i], i);
+    ASSERT_TRUE(std::isfinite(got.ax[i]) && std::isfinite(got.pot[i]));
+  }
 }
 
 TEST(Simulation, MultiStepPreservesPopulation) {
