@@ -2,42 +2,62 @@
 
 #include <algorithm>
 
+#include "domain/transport.hpp"
 #include "util/check.hpp"
+#include "util/timer.hpp"
 
 namespace bonsai::domain {
 
-LetExchange::LetExchange(const std::vector<std::uint8_t>& active) {
+LetExchange::LetExchange(Transport& transport, const std::vector<std::uint8_t>& active)
+    : transport_(transport) {
   const std::size_t nranks = active.size();
   const auto num_active = static_cast<std::size_t>(
       std::count_if(active.begin(), active.end(), [](std::uint8_t a) { return a != 0; }));
-  mailboxes_.reserve(nranks);
   remaining_.reserve(nranks);
-  for (std::size_t r = 0; r < nranks; ++r) {
-    mailboxes_.push_back(std::make_unique<Channel<LetMessage>>());
+  for (std::size_t r = 0; r < nranks; ++r)
     remaining_.push_back(active[r] && num_active > 0 ? num_active - 1 : 0);
-  }
+  encode_.resize(nranks);
+  decode_.resize(nranks);
 }
 
 std::size_t LetExchange::remaining(int dst) const {
   return remaining_[static_cast<std::size_t>(dst)];
 }
 
-void LetExchange::post(int src, int dst, LetTree let, double export_seconds) {
+std::size_t LetExchange::post(int src, int dst, const LetTree& let, double export_seconds) {
   BONSAI_CHECK(src != dst);
-  mailboxes_[static_cast<std::size_t>(dst)]->send({src, std::move(let), export_seconds});
+  WallTimer timer;
+  std::vector<std::uint8_t> frame =
+      wire::encode_let({src, let, export_seconds, /*wire_bytes=*/0});
+  const std::size_t bytes = frame.size();
+  wire::WireStats& ws = encode_[static_cast<std::size_t>(src)];
+  ws.frames += 1;
+  ws.bytes += bytes;
+  ws.encode_seconds += timer.elapsed();
+  transport_.post(src, dst, std::move(frame));
+  return bytes;
 }
 
-void LetExchange::close(int dst) {
-  mailboxes_[static_cast<std::size_t>(dst)]->close();
-}
-
-std::optional<LetMessage> LetExchange::recv(int dst) {
+std::optional<wire::LetMessage> LetExchange::recv(int dst) {
   std::size_t& remaining = remaining_[static_cast<std::size_t>(dst)];
   if (remaining == 0) return std::nullopt;
-  std::optional<LetMessage> msg = mailboxes_[static_cast<std::size_t>(dst)]->recv();
-  BONSAI_CHECK_MSG(msg.has_value(), "LET mailbox closed before all expected arrivals");
+  std::optional<std::vector<std::uint8_t>> frame = transport_.recv(dst);
+  BONSAI_CHECK_MSG(frame.has_value(), "LET endpoint closed before all expected arrivals");
+  WallTimer timer;
+  wire::LetMessage msg = wire::decode_let(*frame);
+  decode_[static_cast<std::size_t>(dst)].decode_seconds += timer.elapsed();
   --remaining;
   return msg;
+}
+
+void LetExchange::close(int dst) { transport_.close(dst); }
+
+const wire::WireStats& LetExchange::encode_stats(int r) const {
+  return encode_[static_cast<std::size_t>(r)];
+}
+
+const wire::WireStats& LetExchange::decode_stats(int r) const {
+  return decode_[static_cast<std::size_t>(r)];
 }
 
 }  // namespace bonsai::domain

@@ -1,8 +1,16 @@
-// Nonblocking point-to-point channels: the in-process analogue of the
-// MPI_Isend/Irecv transport of §III-B3. A sender posts a message and keeps
-// computing; the receiver drains its mailbox whenever it is ready for remote
-// work. This is the seam where a real wire transport (MPI, sockets) would
-// slot in — only Channel/LetExchange would change, not the pipeline.
+// Nonblocking point-to-point channels and the LET exchange protocol.
+//
+// Channel<T> is the unbounded MPSC mailbox the in-process transport is built
+// on: a sender posts and keeps computing (the MPI_Isend analogue); the
+// receiver drains whenever it is ready.
+//
+// LetExchange is the all-to-all LET protocol of one step, spoken over a
+// byte-oriented Transport (domain/transport.hpp): post() serializes a
+// LetTree to a versioned wire frame (domain/wire.hpp) and hands the *bytes*
+// to the transport; recv() decodes and validates the next arrived frame.
+// Live tree objects never cross the rank boundary, so the same protocol runs
+// unchanged over the in-process loopback and over sockets between separate
+// processes.
 #pragma once
 
 #include <condition_variable>
@@ -13,9 +21,11 @@
 #include <optional>
 #include <vector>
 
-#include "domain/let.hpp"
+#include "domain/wire.hpp"
 
 namespace bonsai::domain {
+
+class Transport;
 
 // Unbounded multi-producer single-consumer mailbox. send() never blocks
 // (the MPI_Isend analogue); recv() blocks until a message or close() arrives.
@@ -76,47 +86,51 @@ class Channel {
   bool closed_ = false;
 };
 
-// One LET in flight from rank `src`, carrying the sender-side extraction cost
-// so the schedule model can reconstruct when the message could have arrived.
-struct LetMessage {
-  int src = -1;
-  LetTree let;
-  double export_seconds = 0.0;
-};
-
-// The all-to-all LET mailboxes of one step: a Channel per destination rank
-// plus expected-arrival bookkeeping. Senders and receivers are both known up
-// front (the active = non-empty ranks), so recv() can stop a receiver after
-// its last expected message without any close handshake.
+// The all-to-all LET exchange of one step over a Transport: serialized LET
+// frames plus expected-arrival bookkeeping. Senders and receivers are both
+// known up front (the active = non-empty ranks), so recv() can stop a
+// receiver after its last expected message without any close handshake.
 class LetExchange {
  public:
   // `active[r]` marks ranks that both send and receive LETs this step; an
-  // active destination expects one LET from every other active rank.
-  explicit LetExchange(const std::vector<std::uint8_t>& active);
+  // active destination expects one LET from every other active rank. The
+  // transport must outlive the exchange and route ids [0, active.size()).
+  LetExchange(Transport& transport, const std::vector<std::uint8_t>& active);
 
-  int num_ranks() const { return static_cast<int>(mailboxes_.size()); }
+  int num_ranks() const { return static_cast<int>(remaining_.size()); }
 
   // LETs dst still has to receive; starts at (number of active ranks - 1)
   // for an active dst and counts down with each recv().
   std::size_t remaining(int dst) const;
 
-  // Nonblocking post of src's LET for dst (called from src's driver thread).
-  void post(int src, int dst, LetTree let, double export_seconds);
+  // Nonblocking post of src's LET for dst (called from src's driver thread):
+  // encodes the frame, hands the bytes to the transport, and accounts the
+  // encode under src. Returns the encoded frame size.
+  std::size_t post(int src, int dst, const LetTree& let, double export_seconds);
 
   // Blocking receive of dst's next LET, in arrival order; nullopt once every
-  // expected LET has been delivered. Must only be called from dst's driver
-  // thread (the single consumer of dst's mailbox). Throws if the mailbox was
-  // close()d before all expected arrivals (fail fast, never hang).
-  std::optional<LetMessage> recv(int dst);
+  // expected LET has been delivered. Decodes + validates the frame and
+  // accounts the decode under dst. Must only be called from dst's driver
+  // thread (the single consumer of dst's endpoint). Throws if the endpoint
+  // was close()d before all expected arrivals (fail fast, never hang).
+  std::optional<wire::LetMessage> recv(int dst);
 
-  // Failure-path escape hatch: allocation-free, so it works even when the
-  // empty-LET compensation post cannot be built. A peer blocked in recv()
-  // then trips recv's closed-early check instead of waiting forever.
+  // Failure-path escape hatch: closes dst's transport endpoint so a peer
+  // blocked in recv() trips the closed-early check instead of waiting
+  // forever. Works even when an empty compensation frame cannot be built.
   void close(int dst);
 
+  // Serialization accounting, per rank: encodes posted by r (frames/bytes
+  // out + encode seconds) and decodes consumed by r (decode seconds). Each
+  // entry is touched only by its own rank's driver thread.
+  const wire::WireStats& encode_stats(int r) const;
+  const wire::WireStats& decode_stats(int r) const;
+
  private:
-  std::vector<std::unique_ptr<Channel<LetMessage>>> mailboxes_;
+  Transport& transport_;
   std::vector<std::size_t> remaining_;  // per-dst, touched only by its consumer
+  std::vector<wire::WireStats> encode_;  // per-src
+  std::vector<wire::WireStats> decode_;  // per-dst
 };
 
 }  // namespace bonsai::domain

@@ -1,0 +1,322 @@
+#include "domain/cluster.hpp"
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+
+#include "domain/channel.hpp"
+#include "domain/wire.hpp"
+#include "util/check.hpp"
+
+namespace bonsai::domain {
+
+namespace {
+
+// Transport decorator consulting an early-arrival stash before the socket:
+// a peer's LET for step S can reach a worker before its own StepBegin frame
+// (the coordinator's broadcast and the routed LETs race on different
+// sockets), so the worker's control loop stashes LET frames it is not yet
+// ready for and LetExchange drains the stash first.
+class StashTransport final : public Transport {
+ public:
+  explicit StashTransport(Transport& inner) : inner_(inner) {}
+
+  void push(std::vector<std::uint8_t> frame) { stash_.push_back(std::move(frame)); }
+
+  void post(int src, int dst, std::vector<std::uint8_t> frame) override {
+    inner_.post(src, dst, std::move(frame));
+  }
+
+  std::optional<std::vector<std::uint8_t>> recv(int dst) override {
+    if (!stash_.empty()) {
+      std::vector<std::uint8_t> out = std::move(stash_.front());
+      stash_.pop_front();
+      return out;
+    }
+    return inner_.recv(dst);
+  }
+
+  void close(int dst) override { inner_.close(dst); }
+
+ private:
+  Transport& inner_;
+  std::deque<std::vector<std::uint8_t>> stash_;
+};
+
+}  // namespace
+
+ClusterSimulation::ClusterSimulation(const ClusterConfig& cfg) : cfg_(cfg) {
+  BONSAI_CHECK(cfg_.sim.nranks >= 1);
+  BONSAI_CHECK_MSG(cfg_.sim.nranks <= 255, "LET forests fan out to at most 255 ranks");
+  sets_.resize(static_cast<std::size_t>(cfg_.sim.nranks));
+  decomp_ = Decomposition::uniform(cfg_.sim.nranks);
+  migrate_net_ = std::make_unique<InProcTransport>(cfg_.sim.nranks);
+
+  net_ = SocketTransport::listen(cfg_.port, cfg_.sim.nranks);
+  if (cfg_.spawn_workers) {
+    spawn_workers();
+    // Spawned workers connect within milliseconds; a generous deadline plus
+    // child-liveness polling turns an exec failure into an error, not a hang.
+    net_->accept_workers(/*timeout_ms=*/120000, [this] {
+      for (long& pid : children_) {
+        if (pid < 0) continue;
+        int status = 0;
+        if (::waitpid(static_cast<pid_t>(pid), &status, WNOHANG) ==
+            static_cast<pid_t>(pid)) {
+          pid = -1;  // reaped here; the destructor must not wait on it again
+          return false;
+        }
+      }
+      return true;
+    });
+  } else {
+    // Externally launched workers arrive on the operator's schedule.
+    net_->accept_workers();
+  }
+  for (int r = 0; r < cfg_.sim.nranks; ++r)
+    net_->post(kCoordinatorRank, r, wire::encode_config(cfg_.sim));
+}
+
+void ClusterSimulation::spawn_workers() {
+  BONSAI_CHECK_MSG(!cfg_.program.empty(), "worker spawning needs the binary path");
+  // Workers on this host partition it like in-process rank pipelines do.
+  SimConfig tcfg = cfg_.sim;
+  tcfg.threads_per_rank = cfg_.worker_threads;
+  tcfg.async = true;
+  const std::size_t threads = threads_for(tcfg, std::thread::hardware_concurrency());
+
+  for (int r = 0; r < cfg_.sim.nranks; ++r) {
+    const std::string rank_str = std::to_string(r);
+    const std::string coord = "127.0.0.1:" + std::to_string(net_->port());
+    const std::string threads_str = std::to_string(threads);
+    const char* argv[] = {cfg_.program.c_str(), "--transport", "socket",
+                          "--rank-id",          rank_str.c_str(),
+                          "--coordinator",      coord.c_str(),
+                          "--threads",          threads_str.c_str(),
+                          nullptr};
+    const pid_t pid = ::fork();
+    if (pid < 0) throw std::runtime_error("ClusterSimulation: fork failed");
+    if (pid == 0) {
+      ::execv(cfg_.program.c_str(), const_cast<char* const*>(argv));
+      _exit(127);  // exec failed; the coordinator sees the hangup
+    }
+    children_.push_back(pid);
+  }
+}
+
+ClusterSimulation::~ClusterSimulation() {
+  for (int r = 0; r < cfg_.sim.nranks; ++r) {
+    try {
+      net_->post(kCoordinatorRank, r, wire::encode_shutdown());
+    } catch (...) {
+      // Worker already gone; reaping below still applies.
+    }
+  }
+  net_.reset();  // closes sockets, joins reader threads
+  for (const long pid : children_) {
+    if (pid < 0) continue;  // already reaped by the liveness check
+    int status = 0;
+    ::waitpid(static_cast<pid_t>(pid), &status, 0);
+  }
+}
+
+void ClusterSimulation::init(ParticleSet global) {
+  sets_.assign(sets_.size(), ParticleSet{});
+  sets_[0] = std::move(global);
+  prev_gravity_seconds_.clear();
+  prev_rank_size_.clear();
+  next_step_ = 0;
+  StepReport scratch;
+  TimeBreakdown driver;
+  redistribute(scratch, driver);
+}
+
+void ClusterSimulation::redistribute(StepReport& report, TimeBreakdown& driver_times) {
+  DomainUpdate du = redistribute_sets(sets_, cfg_.sim, prev_gravity_seconds_,
+                                      prev_rank_size_, *migrate_net_, report, driver_times);
+  bounds_ = du.bounds;
+  space_ = du.space;
+  decomp_ = std::move(du.decomp);
+}
+
+StepReport ClusterSimulation::step() {
+  StepReport report;
+  report.step = next_step_++;
+  report.async = false;  // workers pipeline internally, but no lane model here
+  WallTimer wall;
+
+  const std::size_t nranks = sets_.size();
+  TimeBreakdown driver_times;
+  std::vector<TimeBreakdown> rank_times(nranks);
+
+  redistribute(report, driver_times);
+
+  std::vector<std::uint8_t> active(nranks, 0);
+  std::vector<AABB> boxes(nranks);
+  for (std::size_t r = 0; r < nranks; ++r) {
+    active[r] = !sets_[r].empty();
+    if (active[r]) boxes[r] = sets_[r].bounds();
+  }
+
+  // Ship every worker its step inputs. The particle sets move out here and
+  // come back (with forces) in the results, so the coordinator never holds
+  // two copies. Inactive workers get an empty batch to keep the protocol
+  // uniform: every worker answers every step.
+  for (std::size_t r = 0; r < nranks; ++r) {
+    wire::StepBegin sb;
+    sb.step = report.step;
+    sb.bounds = bounds_;
+    sb.active = active;
+    sb.boxes = boxes;
+    sb.parts = std::move(sets_[r]);
+    WallTimer timer;
+    std::vector<std::uint8_t> frame = wire::encode_step_begin(sb);
+    report.part_wire.encode_seconds += timer.elapsed();
+    report.part_wire.frames += 1;
+    report.part_wire.bytes += frame.size();
+    net_->post(kCoordinatorRank, static_cast<int>(r), std::move(frame));
+  }
+
+  // Collect one result per worker, in arrival order.
+  std::vector<std::uint8_t> seen(nranks, 0);
+  for (std::size_t i = 0; i < nranks; ++i) {
+    std::optional<std::vector<std::uint8_t>> frame = net_->recv(kCoordinatorRank);
+    BONSAI_CHECK_MSG(frame.has_value(), "a worker disconnected before its step result");
+    WallTimer timer;
+    wire::StepResult sr = wire::decode_step_result(*frame);
+    report.part_wire.decode_seconds += timer.elapsed();
+    report.part_wire.frames += 1;
+    report.part_wire.bytes += frame->size();
+    BONSAI_CHECK_MSG(sr.rank >= 0 && sr.rank < static_cast<int>(nranks) &&
+                         !seen[static_cast<std::size_t>(sr.rank)],
+                     "duplicate or out-of-range step result");
+    seen[static_cast<std::size_t>(sr.rank)] = 1;
+    const auto r = static_cast<std::size_t>(sr.rank);
+    sets_[r] = std::move(sr.parts);
+    rank_times[r] = std::move(sr.times);
+    report.let_cells += sr.let_cells;
+    report.let_particles += sr.let_particles;
+    report.local_stats += sr.local_stats;
+    report.remote_stats += sr.remote_stats;
+    report.let_wire += sr.let_wire;
+    report.let_sizes.insert(report.let_sizes.end(), sr.let_sizes.begin(),
+                            sr.let_sizes.end());
+  }
+
+  prev_gravity_seconds_.assign(nranks, 0.0);
+  prev_rank_size_.assign(nranks, 0);
+  for (std::size_t r = 0; r < nranks; ++r) {
+    prev_gravity_seconds_[r] =
+        rank_times[r].get("Gravity local") + rank_times[r].get("Gravity remote");
+    prev_rank_size_[r] = sets_[r].size();
+  }
+
+  fold_stage_times(report, driver_times, rank_times);
+  report.elapsed = wall.elapsed();
+  return report;
+}
+
+namespace {
+
+std::vector<const ParticleSet*> set_pointers(const std::vector<ParticleSet>& sets) {
+  std::vector<const ParticleSet*> out;
+  out.reserve(sets.size());
+  for (const ParticleSet& s : sets) out.push_back(&s);
+  return out;
+}
+
+}  // namespace
+
+ParticleSet ClusterSimulation::gather() const { return gather_sorted(set_pointers(sets_)); }
+
+std::size_t ClusterSimulation::num_particles() const {
+  std::size_t n = 0;
+  for (const ParticleSet& p : sets_) n += p.size();
+  return n;
+}
+
+double ClusterSimulation::kinetic_energy() const {
+  return total_kinetic_energy(set_pointers(sets_));
+}
+
+double ClusterSimulation::potential_energy() const {
+  return total_potential_energy(set_pointers(sets_));
+}
+
+int run_worker(const std::string& host, std::uint16_t port, int rank_id,
+               std::size_t threads) {
+  std::unique_ptr<SocketTransport> net = SocketTransport::connect(host, port, rank_id);
+
+  std::optional<std::vector<std::uint8_t>> frame = net->recv(rank_id);
+  if (!frame) throw std::runtime_error("worker: coordinator closed before config");
+  SimConfig cfg = wire::decode_config(*frame);
+  BONSAI_CHECK_MSG(rank_id >= 0 && rank_id < cfg.nranks,
+                   "worker rank id outside the configured rank count");
+  cfg.threads_per_rank = threads;
+  cfg.async = true;
+  Rank rank(rank_id, threads_for(cfg, std::thread::hardware_concurrency()));
+  StashTransport snet(*net);
+
+  // The previous step's StepResult encode time: it cannot ride in the frame
+  // it measures (the timings are part of the payload), so it is reported one
+  // step late — per-step rows shift slightly, trajectory totals stay honest.
+  double pending_result_encode_s = 0.0;
+
+  for (;;) {
+    frame = net->recv(rank_id);
+    if (!frame) throw std::runtime_error("worker: coordinator disconnected");
+    const wire::FrameType type = wire::frame_type(*frame);
+    if (type == wire::FrameType::kShutdown) return 0;
+    if (type == wire::FrameType::kLet) {
+      // A peer raced its LETs ahead of our StepBegin; hold them for the
+      // exchange below.
+      snet.push(std::move(*frame));
+      continue;
+    }
+    if (type != wire::FrameType::kStepBegin)
+      throw std::runtime_error("worker: unexpected frame type from coordinator");
+
+    WallTimer decode_timer;
+    wire::StepBegin sb = wire::decode_step_begin(*frame);
+    const double sb_decode_s = decode_timer.elapsed();
+    BONSAI_CHECK(sb.active.size() == static_cast<std::size_t>(cfg.nranks));
+    const sfc::KeySpace space(sb.bounds, cfg.curve);
+    rank.parts() = std::move(sb.parts);
+
+    TimeBreakdown times;
+    times.add("Wire decode", sb_decode_s);
+    times.add("Wire encode", pending_result_encode_s);
+    pending_result_encode_s = 0.0;
+    rank.build(space, cfg, times);
+
+    // The exact same per-rank step body as the in-process async lanes, so
+    // out-of-process runs reproduce in-process forces.
+    wire::StepResult sr;
+    sr.rank = rank_id;
+    LetExchange let_net(snet, sb.active);
+    std::size_t next_peer = 1;
+    RankStepStats out =
+        run_rank_step(rank, cfg, let_net, sb.active, sb.boxes, times,
+                      /*lane=*/nullptr, next_peer);
+    sr.let_cells = out.let_cells;
+    sr.let_particles = out.let_particles;
+    sr.local_stats = out.local_stats;
+    sr.remote_stats = out.remote_stats;
+    sr.let_sizes = std::move(out.let_sizes);
+    sr.let_wire = let_net.encode_stats(rank_id);
+    sr.let_wire.decode_seconds = let_net.decode_stats(rank_id).decode_seconds;
+    sr.times = times;
+    sr.parts = std::move(rank.parts());
+    WallTimer encode_timer;
+    std::vector<std::uint8_t> result = wire::encode_step_result(sr);
+    pending_result_encode_s = encode_timer.elapsed();
+    net->post(rank_id, kCoordinatorRank, std::move(result));
+  }
+}
+
+}  // namespace bonsai::domain

@@ -1,0 +1,87 @@
+// Out-of-process ranks: the coordinator/worker drivers of --transport socket.
+//
+// The paper's ranks are separate MPI processes; this module reproduces that
+// process boundary over the SocketTransport. A coordinator process owns the
+// global particle state, the domain decomposition and the step loop; each
+// rank's pipeline (sort, tree build, LET export, gravity, integration) runs
+// in its own worker *process*, connected by one TCP stream. Everything that
+// crosses the boundary is a versioned wire frame (domain/wire.hpp):
+//
+//   coordinator -> worker   Config, then per step: StepBegin (key-space
+//                           bounds, active set, domain boxes, the worker's
+//                           particle batch)
+//   worker <-> worker       LET frames, routed through the coordinator
+//   worker -> coordinator   StepResult (particles + forces, stage timings,
+//                           interaction/wire statistics)
+//
+// The per-step dataflow and the resulting forces match the in-process
+// Simulation: the same update_domain/exchange code computes the partition,
+// the same Rank code computes the physics, and the same LetExchange protocol
+// moves LETs — only the Transport underneath differs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "domain/simulation.hpp"
+#include "domain/transport.hpp"
+
+namespace bonsai::domain {
+
+struct ClusterConfig {
+  SimConfig sim;
+  std::uint16_t port = 0;     // 0: pick an ephemeral port
+  bool spawn_workers = true;  // fork/exec `program` once per rank; false:
+                              // wait for externally launched workers
+  std::string program;        // bonsai_sim binary path (argv[0]) for spawning
+  std::size_t worker_threads = 0;  // device threads per worker (0: hw/nranks)
+};
+
+// Coordinator-side driver with the same step interface as Simulation, so the
+// CLI and the validation path are generic over where the ranks live.
+class ClusterSimulation {
+ public:
+  explicit ClusterSimulation(const ClusterConfig& cfg);
+  ~ClusterSimulation();
+
+  void init(ParticleSet global);
+  StepReport step();
+  ParticleSet gather() const;
+
+  std::size_t num_particles() const;
+  const SimConfig& config() const { return cfg_.sim; }
+  const Decomposition& decomposition() const { return decomp_; }
+  std::uint16_t port() const { return net_->port(); }
+
+  double kinetic_energy() const;
+  double potential_energy() const;
+
+ private:
+  void redistribute(StepReport& report, TimeBreakdown& driver_times);
+  void spawn_workers();
+
+  ClusterConfig cfg_;
+  std::unique_ptr<SocketTransport> net_;
+  // The coordinator-local alltoallv between its per-rank sets; migration
+  // frames never need the sockets because the coordinator owns all sets
+  // between steps.
+  std::unique_ptr<InProcTransport> migrate_net_;
+  std::vector<ParticleSet> sets_;
+  Decomposition decomp_;
+  sfc::KeySpace space_;
+  AABB bounds_;
+  int next_step_ = 0;
+  std::vector<double> prev_gravity_seconds_;
+  std::vector<std::size_t> prev_rank_size_;
+  std::vector<long> children_;  // pids of spawned worker processes
+};
+
+// Worker-process entry (bonsai_sim --transport socket --rank-id K
+// --coordinator HOST:PORT): connect, receive the config, serve StepBegin
+// frames until Shutdown. Returns the process exit code.
+int run_worker(const std::string& host, std::uint16_t port, int rank_id,
+               std::size_t threads);
+
+}  // namespace bonsai::domain

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "domain/transport.hpp"
 #include "util/check.hpp"
+#include "util/timer.hpp"
 
 namespace bonsai::domain {
 
@@ -104,10 +106,56 @@ std::vector<sfc::Key> sample_keys(const ParticleSet& parts, const sfc::KeySpace&
   return samples;
 }
 
+DomainUpdate update_domain(std::span<const ParticleSet* const> rank_parts, int nranks,
+                           sfc::CurveType curve, std::size_t samples_per_rank,
+                           int snap_level, std::span<const double> weights) {
+  BONSAI_CHECK(static_cast<int>(rank_parts.size()) == nranks);
+  BONSAI_CHECK(weights.empty() || weights.size() == rank_parts.size());
+
+  DomainUpdate out;
+  std::size_t total = 0;
+  for (const ParticleSet* parts : rank_parts) {
+    if (!parts->empty()) out.bounds.expand(parts->bounds());
+    total += parts->size();
+  }
+  if (!out.bounds.valid()) out.bounds = {{0, 0, 0}, {1, 1, 1}};  // no particles anywhere
+  out.space = sfc::KeySpace(out.bounds, curve);
+
+  // One global stride for every rank: pooled samples stay uniformly weighted
+  // per particle, so quantile cuts keep tracking the population even when
+  // rank sizes have drifted apart.
+  const std::size_t target = samples_per_rank * static_cast<std::size_t>(nranks);
+  const std::size_t stride =
+      std::max<std::size_t>(1, total / std::max<std::size_t>(1, target));
+
+  std::vector<Decomposition::WeightedKey> samples;
+  for (std::size_t r = 0; r < rank_parts.size(); ++r) {
+    const auto s = sample_keys(*rank_parts[r], out.space, stride);
+    const double w = weights.empty() ? 1.0 : weights[r];
+    for (const sfc::Key k : s) samples.push_back({k, w});
+  }
+  out.decomp = Decomposition::from_weighted_samples(std::move(samples), nranks, snap_level);
+  return out;
+}
+
+namespace {
+
+// Append `from`'s particles to `to`, preserving the wire-carried SFC keys.
+void append_particles(ParticleSet& to, const ParticleSet& from) {
+  for (std::size_t i = 0; i < from.size(); ++i) {
+    to.add(from.get(i));
+    to.key.back() = from.key[i];
+  }
+}
+
+}  // namespace
+
 ExchangeStats exchange(std::vector<ParticleSet>& rank_parts, const sfc::KeySpace& space,
-                       const Decomposition& decomp) {
+                       const Decomposition& decomp, Transport& transport,
+                       wire::WireStats* wire_stats) {
   BONSAI_CHECK(static_cast<int>(rank_parts.size()) == decomp.num_ranks());
   const auto nranks = static_cast<std::size_t>(decomp.num_ranks());
+  wire::WireStats ws;
 
   // Counting pre-pass (the alltoallv handshake): compute each particle's key
   // and owner once, so destinations can reserve before any copy happens.
@@ -126,19 +174,74 @@ ExchangeStats exchange(std::vector<ParticleSet>& rank_parts, const sfc::KeySpace
     }
   }
 
-  std::vector<ParticleSet> incoming(nranks);
-  for (std::size_t d = 0; d < nranks; ++d) incoming[d].reserve(counts[d]);
+  // Send side: every source posts one encoded emigrant batch per remote rank
+  // (possibly empty — destinations count on exactly nranks-1 arrivals).
+  // Stayers never touch the wire.
   for (std::size_t r = 0; r < nranks; ++r) {
     const ParticleSet& parts = rank_parts[r];
+    std::vector<ParticleSet> batches(nranks);
     for (std::size_t i = 0; i < parts.size(); ++i) {
-      ParticleSet& in = incoming[static_cast<std::size_t>(dest[r][i])];
-      in.add(parts.get(i));
-      in.key.back() = parts.key[i];
+      const auto d = static_cast<std::size_t>(dest[r][i]);
+      if (d == r) continue;
+      batches[d].add(parts.get(i));
+      batches[d].key.back() = parts.key[i];
+    }
+    for (std::size_t d = 0; d < nranks; ++d) {
+      if (d == r) continue;
+      WallTimer timer;
+      std::vector<std::uint8_t> frame =
+          wire::encode_particles(static_cast<int>(r), batches[d], /*with_forces=*/false);
+      ws.encode_seconds += timer.elapsed();
+      ws.frames += 1;
+      ws.bytes += frame.size();
+      transport.post(static_cast<int>(r), static_cast<int>(d), std::move(frame));
+    }
+  }
+
+  // Receive side: decode the nranks-1 expected batches (any arrival order —
+  // they are spliced by source rank afterwards) and interleave them with the
+  // destination's own stayers, reproducing the historical (source rank,
+  // source index) ordering exactly.
+  std::vector<ParticleSet> incoming(nranks);
+  for (std::size_t d = 0; d < nranks; ++d) {
+    std::vector<ParticleSet> arrived(nranks);
+    for (std::size_t k = 0; k + 1 < nranks; ++k) {
+      std::optional<std::vector<std::uint8_t>> frame = transport.recv(static_cast<int>(d));
+      BONSAI_CHECK_MSG(frame.has_value(),
+                       "particle endpoint closed before all expected batches");
+      WallTimer timer;
+      wire::ParticleBatch batch = wire::decode_particles(*frame);
+      ws.decode_seconds += timer.elapsed();
+      BONSAI_CHECK_MSG(batch.src >= 0 && batch.src < static_cast<int>(nranks) &&
+                           batch.src != static_cast<int>(d),
+                       "particle batch from an impossible source rank");
+      BONSAI_CHECK_MSG(!batch.with_forces, "migration batches must travel force-free");
+      arrived[static_cast<std::size_t>(batch.src)] = std::move(batch.parts);
+    }
+    incoming[d].reserve(counts[d]);
+    for (std::size_t src = 0; src < nranks; ++src) {
+      if (src == d) {
+        const ParticleSet& own = rank_parts[d];
+        for (std::size_t i = 0; i < own.size(); ++i) {
+          if (static_cast<std::size_t>(dest[d][i]) != d) continue;
+          incoming[d].add(own.get(i));
+          incoming[d].key.back() = own.key[i];
+        }
+      } else {
+        append_particles(incoming[d], arrived[src]);
+      }
     }
   }
   for (const ParticleSet& in : incoming) stats.total += in.size();
   rank_parts.swap(incoming);
+  if (wire_stats) *wire_stats += ws;
   return stats;
+}
+
+ExchangeStats exchange(std::vector<ParticleSet>& rank_parts, const sfc::KeySpace& space,
+                       const Decomposition& decomp) {
+  InProcTransport scratch(decomp.num_ranks());
+  return exchange(rank_parts, space, decomp, scratch, nullptr);
 }
 
 }  // namespace bonsai::domain

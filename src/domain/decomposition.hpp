@@ -14,10 +14,13 @@
 #include <span>
 #include <vector>
 
+#include "domain/wire.hpp"
 #include "sfc/keys.hpp"
 #include "tree/particle.hpp"
 
 namespace bonsai::domain {
+
+class Transport;
 
 // A partition of the SFC key space into contiguous per-rank intervals.
 // Rank r owns keys in [boundaries()[r], boundaries()[r+1]).
@@ -82,16 +85,44 @@ class Decomposition {
 std::vector<sfc::Key> sample_keys(const ParticleSet& parts, const sfc::KeySpace& space,
                                   std::size_t stride);
 
+// Result of one "Domain update" stage: the raw global particle bounds (kept
+// so a remote worker can reconstruct the KeySpace bit-identically), the key
+// space built from them, and the new partition.
+struct DomainUpdate {
+  AABB bounds;
+  sfc::KeySpace space;
+  Decomposition decomp;
+};
+
+// The per-step domain update shared by the in-process Simulation and the
+// cluster coordinator: global bounds -> KeySpace, pooled stride-sampling of
+// every rank's keys (one global stride, so pooled samples stay uniformly
+// weighted per particle), and a weighted quantile cut. `weights` gives each
+// rank's per-sample cost weight (empty = uniform; see BalanceMode::kCost).
+DomainUpdate update_domain(std::span<const ParticleSet* const> rank_parts, int nranks,
+                           sfc::CurveType curve, std::size_t samples_per_rank,
+                           int snap_level, std::span<const double> weights);
+
 struct ExchangeStats {
   std::uint64_t total = 0;     // particles across all ranks after the exchange
   std::uint64_t migrated = 0;  // particles that changed owner rank
 };
 
-// Migrate every particle to its owner rank: the in-process analogue of the
-// MPI alltoallv of §III-B1. `rank_parts[r]` is rank r's population before and
-// after; positions, velocities, masses and ids are moved bit-for-bit, forces
-// are reset (they are recomputed each step), and each particle's `key` field
-// is left holding its freshly computed SFC key.
+// Migrate every particle to its owner rank: the analogue of the MPI
+// alltoallv of §III-B1, spoken in wire frames. Every source rank posts one
+// encoded particle batch (its emigrants, possibly none) to every other rank
+// through `transport`; each destination decodes its expected batches in
+// source order and splices them around its own stayers, so the resulting
+// populations and orderings are identical to the historical in-memory move.
+// Positions, velocities, masses and ids travel bit-for-bit, forces are reset
+// (they are recomputed each step), and each particle's `key` field is left
+// holding its freshly computed SFC key. Serialization cost/volume is
+// accumulated into `wire_stats` when given.
+ExchangeStats exchange(std::vector<ParticleSet>& rank_parts, const sfc::KeySpace& space,
+                       const Decomposition& decomp, Transport& transport,
+                       wire::WireStats* wire_stats = nullptr);
+
+// Convenience overload routing through a scratch in-process transport.
 ExchangeStats exchange(std::vector<ParticleSet>& rank_parts, const sfc::KeySpace& space,
                        const Decomposition& decomp);
 

@@ -1,22 +1,28 @@
 #include "domain/simulation.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 #include <ostream>
 #include <thread>
 
 #include "domain/channel.hpp"
 #include "util/check.hpp"
+#include "util/histogram.hpp"
+#include "util/stats.hpp"
 #include "util/table.hpp"
 
 namespace bonsai::domain {
 
 namespace {
 
-// Canonical stage order for reports (the pipeline order of Table II).
+// Canonical stage order for reports (the pipeline order of Table II, with
+// the serialization cost of the wire transport broken out of the exchange
+// stages so the stage rows stay disjoint and the Total stays honest).
 const char* const kStageOrder[] = {
     "Domain update", "Exchange particles", "Sorting SFC",
     "Tree-construction", "Tree-properties", "Exchange LET",
+    "Wire encode", "Wire decode",
     "Gravity local", "Gravity remote", "Integration",
 };
 
@@ -36,6 +42,66 @@ GravityRates gravity_rates(const StepReport& report) {
   return {gflops_rate(flops, grav_sum), gflops_rate(flops, grav_max)};
 }
 
+// Per-imported-LET byte percentiles shared by the text report and the JSON.
+struct LetSizeSummary {
+  double min_bytes = 0.0, median_bytes = 0.0, max_bytes = 0.0;
+  double median_cells = 0.0, median_particles = 0.0;
+};
+
+LetSizeSummary summarize_let_sizes(std::span<const wire::LetSizeSample> sizes) {
+  LetSizeSummary s;
+  if (sizes.empty()) return s;
+  std::vector<double> bytes, cells, parts;
+  bytes.reserve(sizes.size());
+  for (const wire::LetSizeSample& l : sizes) {
+    bytes.push_back(static_cast<double>(l.bytes));
+    cells.push_back(static_cast<double>(l.cells));
+    parts.push_back(static_cast<double>(l.particles));
+  }
+  s.min_bytes = percentile(bytes, 0.0);
+  s.median_bytes = percentile(bytes, 0.5);
+  s.max_bytes = percentile(bytes, 1.0);
+  s.median_cells = percentile(cells, 0.5);
+  s.median_particles = percentile(parts, 0.5);
+  return s;
+}
+
+std::string human_bytes(double b) {
+  const char* const units[] = {"B", "KiB", "MiB", "GiB"};
+  int u = 0;
+  while (b >= 1024.0 && u < 3) {
+    b /= 1024.0;
+    ++u;
+  }
+  return TextTable::num(b, u == 0 ? 0 : 1) + units[u];
+}
+
+// Power-of-two histogram of per-imported-LET frame sizes — the data behind
+// the "remote gravity dominates" ROADMAP item: how much tree each rank pulls
+// in from its peers, and how skewed the pull is.
+void print_let_histogram(std::span<const wire::LetSizeSample> sizes, std::ostream& os) {
+  if (sizes.empty()) return;
+  const LetSizeSummary s = summarize_let_sizes(sizes);
+  os << "imported LETs: " << sizes.size() << " | bytes med " << human_bytes(s.median_bytes)
+     << " [min " << human_bytes(s.min_bytes) << ", max " << human_bytes(s.max_bytes)
+     << "] | cells med " << TextTable::num(s.median_cells, 0) << " | particles med "
+     << TextTable::num(s.median_particles, 0) << "\n";
+
+  const double lo = std::floor(std::log2(std::max(s.min_bytes, 1.0)));
+  const double hi = std::floor(std::log2(std::max(s.max_bytes, 1.0))) + 1.0;
+  Histogram1D h(lo, hi, static_cast<std::size_t>(hi - lo));
+  for (const wire::LetSizeSample& l : sizes)
+    h.add(std::log2(std::max(static_cast<double>(l.bytes), 1.0)));
+  os << "LET size histogram:";
+  for (std::size_t b = 0; b < h.bins(); ++b) {
+    if (h.count(b) == 0.0) continue;
+    os << " [" << human_bytes(std::exp2(lo + static_cast<double>(b))) << ","
+       << human_bytes(std::exp2(lo + static_cast<double>(b) + 1.0)) << ") "
+       << static_cast<std::uint64_t>(h.count(b)) << " |";
+  }
+  os << "\n";
+}
+
 }  // namespace
 
 std::size_t threads_for(const SimConfig& cfg, std::size_t hardware_threads) {
@@ -53,6 +119,7 @@ Simulation::Simulation(const SimConfig& cfg) : cfg_(cfg) {
   ranks_.reserve(static_cast<std::size_t>(cfg_.nranks));
   for (int r = 0; r < cfg_.nranks; ++r)
     ranks_.push_back(std::make_unique<Rank>(r, threads));
+  transport_ = std::make_unique<InProcTransport>(cfg_.nranks);
   decomp_ = Decomposition::uniform(cfg_.nranks);
 }
 
@@ -66,60 +133,122 @@ void Simulation::init(ParticleSet global) {
   redistribute(scratch, driver);
 }
 
-void Simulation::redistribute(StepReport& report, TimeBreakdown& driver_times) {
+namespace {
+
+// Feedback-balancing weights: rank r's samples are weighted by its measured
+// gravity seconds per particle from the previous step, so expensive regions
+// shrink. The floor keeps a region whose timings underflowed from collapsing
+// to nothing; before any step has been timed (or outside cost mode) the
+// returned vector is empty and the cut degrades to equal-count quantiles.
+std::vector<double> cost_weights(const SimConfig& cfg,
+                                 std::span<const double> prev_gravity_seconds,
+                                 std::span<const std::size_t> prev_rank_size) {
+  std::vector<double> weight;
+  if (cfg.balance != BalanceMode::kCost ||
+      prev_gravity_seconds.size() != static_cast<std::size_t>(cfg.nranks))
+    return weight;
+  weight.resize(prev_gravity_seconds.size());
+  double max_w = 0.0;
+  for (std::size_t r = 0; r < weight.size(); ++r) {
+    weight[r] = prev_rank_size[r] > 0
+                    ? prev_gravity_seconds[r] / static_cast<double>(prev_rank_size[r])
+                    : 0.0;
+    max_w = std::max(max_w, weight[r]);
+  }
+  for (double& w : weight) w = std::max(w, 1e-3 * max_w);
+  return weight;
+}
+
+}  // namespace
+
+DomainUpdate redistribute_sets(std::vector<ParticleSet>& sets, const SimConfig& cfg,
+                               std::span<const double> prev_gravity_seconds,
+                               std::span<const std::size_t> prev_rank_size,
+                               Transport& transport, StepReport& report,
+                               TimeBreakdown& driver_times) {
+  DomainUpdate du;
   {
     ScopedTimer t(driver_times, "Domain update");
-    AABB bounds;
-    for (const auto& rank : ranks_)
-      if (!rank->parts().empty()) bounds.expand(rank->parts().bounds());
-    if (!bounds.valid()) bounds = {{0, 0, 0}, {1, 1, 1}};  // no particles anywhere
-    space_ = sfc::KeySpace(bounds, cfg_.curve);
-
-    // One global stride for every rank: pooled samples stay uniformly
-    // weighted per particle, so quantile cuts keep tracking the population
-    // even when rank sizes have drifted apart.
-    const std::size_t total = num_particles();
-    const std::size_t target =
-        cfg_.samples_per_rank * static_cast<std::size_t>(cfg_.nranks);
-    const std::size_t stride = std::max<std::size_t>(1, total / std::max<std::size_t>(1, target));
-
-    // Feedback balancing: weight rank r's samples by its measured gravity
-    // seconds per particle from the previous step, so expensive regions
-    // shrink. The floor keeps a region whose timings underflowed from
-    // collapsing to nothing; before any step has been timed, weights are
-    // uniform and the cut degrades to the equal-count quantiles.
-    std::vector<double> weight(ranks_.size(), 1.0);
-    if (cfg_.balance == BalanceMode::kCost &&
-        prev_gravity_seconds_.size() == ranks_.size()) {
-      double max_w = 0.0;
-      for (std::size_t r = 0; r < ranks_.size(); ++r) {
-        weight[r] = prev_rank_size_[r] > 0
-                        ? prev_gravity_seconds_[r] / static_cast<double>(prev_rank_size_[r])
-                        : 0.0;
-        max_w = std::max(max_w, weight[r]);
-      }
-      for (double& w : weight) w = std::max(w, 1e-3 * max_w);
-    }
-
-    std::vector<Decomposition::WeightedKey> samples;
-    for (std::size_t r = 0; r < ranks_.size(); ++r) {
-      const auto s = sample_keys(ranks_[r]->parts(), space_, stride);
-      for (const sfc::Key k : s) samples.push_back({k, weight[r]});
-    }
-    decomp_ =
-        Decomposition::from_weighted_samples(std::move(samples), cfg_.nranks, cfg_.snap_level);
+    const std::vector<double> weight =
+        cost_weights(cfg, prev_gravity_seconds, prev_rank_size);
+    std::vector<const ParticleSet*> ptrs;
+    ptrs.reserve(sets.size());
+    for (const ParticleSet& s : sets) ptrs.push_back(&s);
+    du = update_domain(ptrs, cfg.nranks, cfg.curve, cfg.samples_per_rank, cfg.snap_level,
+                       weight);
   }
   {
-    ScopedTimer t(driver_times, "Exchange particles");
-    std::vector<ParticleSet> sets(ranks_.size());
-    for (std::size_t r = 0; r < ranks_.size(); ++r)
-      sets[r] = std::move(ranks_[r]->parts());
-    const ExchangeStats ex = exchange(sets, space_, decomp_);
-    for (std::size_t r = 0; r < ranks_.size(); ++r)
-      ranks_[r]->parts() = std::move(sets[r]);
+    // Manual timing so the serialization cost of the migration batches lands
+    // in the wire rows instead of double-counting inside the exchange row.
+    WallTimer timer;
+    wire::WireStats ws;
+    const ExchangeStats ex = exchange(sets, du.space, du.decomp, transport, &ws);
     report.migrated = ex.migrated;
     report.num_particles = ex.total;
+    report.part_wire += ws;
+    driver_times.add("Exchange particles",
+                     std::max(0.0, timer.elapsed() - ws.encode_seconds - ws.decode_seconds));
+    driver_times.add("Wire encode", ws.encode_seconds);
+    driver_times.add("Wire decode", ws.decode_seconds);
   }
+  return du;
+}
+
+RankStepStats run_rank_step(Rank& rank, const SimConfig& cfg, LetExchange& net,
+                            std::span<const std::uint8_t> active,
+                            std::span<const AABB> boxes, TimeBreakdown& times,
+                            LaneTimeline* lane, std::size_t& next_peer) {
+  RankStepStats out;
+  const auto r = static_cast<std::size_t>(rank.id());
+  const std::size_t nranks = active.size();
+  if (active[r]) {
+    // Peers receive LETs round-robin from r+1 so senders spread across
+    // receivers instead of all extracting for rank 0 first.
+    for (; next_peer < nranks; ++next_peer) {
+      const std::size_t dst = (r + next_peer) % nranks;
+      if (!active[dst]) continue;
+      WallTimer timer;
+      LetTree let = rank.export_let(boxes[dst]);
+      const double secs = timer.elapsed();
+      times.add("Exchange LET", secs);
+      if (lane) lane->exports.emplace_back(static_cast<int>(dst), secs);
+      out.let_cells += let.num_cells();
+      out.let_particles += let.num_particles();
+      net.post(static_cast<int>(r), static_cast<int>(dst), let, secs);
+    }
+
+    rank.parts().zero_forces();
+    out.local_stats = rank.gravity_local(cfg, times);
+    if (lane) lane->local = times.get("Gravity local");
+
+    // Remote gravity per imported LET, in arrival order — no graft barrier;
+    // the walk accepts any self-contained TreeView.
+    while (std::optional<wire::LetMessage> msg = net.recv(static_cast<int>(r))) {
+      out.let_sizes.push_back(
+          {msg->let.num_cells(), msg->let.num_particles(), msg->wire_bytes});
+      const double before = times.get("Gravity remote");
+      out.remote_stats += rank.gravity_remote(msg->let.view(), cfg, times);
+      if (lane) lane->remotes.emplace_back(msg->src, times.get("Gravity remote") - before);
+    }
+  } else {
+    rank.parts().zero_forces();
+  }
+
+  if (cfg.dt != 0.0) rank.integrate(cfg.dt, times);
+  if (lane) lane->integrate = times.get("Integration");
+  times.add("Wire encode", net.encode_stats(static_cast<int>(r)).encode_seconds);
+  times.add("Wire decode", net.decode_stats(static_cast<int>(r)).decode_seconds);
+  return out;
+}
+
+void Simulation::redistribute(StepReport& report, TimeBreakdown& driver_times) {
+  std::vector<ParticleSet> sets(ranks_.size());
+  for (std::size_t r = 0; r < ranks_.size(); ++r) sets[r] = std::move(ranks_[r]->parts());
+  DomainUpdate du = redistribute_sets(sets, cfg_, prev_gravity_seconds_, prev_rank_size_,
+                                      *transport_, report, driver_times);
+  for (std::size_t r = 0; r < ranks_.size(); ++r) ranks_[r]->parts() = std::move(sets[r]);
+  space_ = du.space;
+  decomp_ = std::move(du.decomp);
 }
 
 StepReport Simulation::step() {
@@ -127,6 +256,11 @@ StepReport Simulation::step() {
   report.step = next_step_++;
   report.async = cfg_.async;
   WallTimer wall;
+
+  // Fresh endpoints every step: a failed step may leave undrained LET
+  // frames (or a closed mailbox from the failure path) behind, and those
+  // must not leak into the next step's exchanges.
+  transport_ = std::make_unique<InProcTransport>(cfg_.nranks);
 
   const std::size_t nranks = ranks_.size();
   TimeBreakdown driver_times;
@@ -156,7 +290,13 @@ StepReport Simulation::step() {
     prev_rank_size_[r] = ranks_[r]->parts().size();
   }
 
-  // Fold driver-level and per-rank stage times into the two aggregate views.
+  fold_stage_times(report, driver_times, rank_times);
+  report.elapsed = wall.elapsed();
+  return report;
+}
+
+void fold_stage_times(StepReport& report, const TimeBreakdown& driver_times,
+                      std::span<const TimeBreakdown> rank_times) {
   for (const char* stage : kStageOrder) {
     const double drv = driver_times.get(stage);
     double mx = drv, sum = drv;
@@ -170,8 +310,6 @@ StepReport Simulation::step() {
       report.sum_times.add(stage, sum);
     }
   }
-  report.elapsed = wall.elapsed();
-  return report;
 }
 
 void Simulation::step_async(StepReport& report, std::vector<TimeBreakdown>& rank_times,
@@ -188,11 +326,12 @@ void Simulation::step_async(StepReport& report, std::vector<TimeBreakdown>& rank
     if (active[r]) boxes[r] = ranks_[r]->parts().bounds();
   }
 
-  LetExchange net(active);
+  LetExchange net(*transport_, active);
   if (!executor_) executor_ = std::make_unique<Executor>(nranks);
 
   std::vector<std::uint64_t> let_cells(nranks, 0), let_parts(nranks, 0);
   std::vector<InteractionStats> local_stats(nranks), remote_stats(nranks);
+  std::vector<std::vector<wire::LetSizeSample>> sizes(nranks);
   std::vector<std::exception_ptr> errors(nranks);
 
   std::vector<std::future<void>> done;
@@ -217,9 +356,8 @@ void Simulation::step_async(StepReport& report, std::vector<TimeBreakdown>& rank
 
   auto submit_lane = [&](std::size_t r) {
     done.push_back(executor_->run(r, [&, r] {
-      // Peers receive LETs round-robin from r+1 so senders spread across
-      // receivers instead of all extracting for rank 0 first. Tracked
-      // outside the try so the failure path knows which posts are owed.
+      // Export progress is tracked outside the try so the failure path
+      // knows which posts are still owed.
       std::size_t next_peer = 1;
       try {
         Rank& rank = *ranks_[r];
@@ -231,37 +369,13 @@ void Simulation::step_async(StepReport& report, std::vector<TimeBreakdown>& rank
         lane.build = times.get("Tree-construction");
         lane.props = times.get("Tree-properties");
 
-        if (active[r]) {
-          for (; next_peer < nranks; ++next_peer) {
-            const std::size_t dst = (r + next_peer) % nranks;
-            if (!active[dst]) continue;
-            WallTimer timer;
-            LetTree let = rank.export_let(boxes[dst]);
-            const double secs = timer.elapsed();
-            times.add("Exchange LET", secs);
-            lane.exports.emplace_back(static_cast<int>(dst), secs);
-            let_cells[r] += let.num_cells();
-            let_parts[r] += let.num_particles();
-            net.post(static_cast<int>(r), static_cast<int>(dst), std::move(let), secs);
-          }
-
-          rank.parts().zero_forces();
-          local_stats[r] = rank.gravity_local(cfg_, times);
-          lane.local = times.get("Gravity local");
-
-          // Remote gravity per imported LET, in arrival order — no graft
-          // barrier; the walk accepts any self-contained TreeView.
-          while (std::optional<LetMessage> msg = net.recv(static_cast<int>(r))) {
-            const double before = times.get("Gravity remote");
-            remote_stats[r] += rank.gravity_remote(msg->let.view(), cfg_, times);
-            lane.remotes.emplace_back(msg->src, times.get("Gravity remote") - before);
-          }
-        } else {
-          rank.parts().zero_forces();
-        }
-
-        if (cfg_.dt != 0.0) rank.integrate(cfg_.dt, times);
-        lane.integrate = times.get("Integration");
+        RankStepStats out =
+            run_rank_step(rank, cfg_, net, active, boxes, times, &lane, next_peer);
+        let_cells[r] = out.let_cells;
+        let_parts[r] = out.let_particles;
+        local_stats[r] = out.local_stats;
+        remote_stats[r] = out.remote_stats;
+        sizes[r] = std::move(out.let_sizes);
       } catch (...) {
         errors[r] = std::current_exception();
         // Every lane must return before the driver can rethrow (it owns the
@@ -293,6 +407,9 @@ void Simulation::step_async(StepReport& report, std::vector<TimeBreakdown>& rank
     report.let_particles += let_parts[r];
     report.local_stats += local_stats[r];
     report.remote_stats += remote_stats[r];
+    report.let_wire += net.encode_stats(static_cast<int>(r));
+    report.let_wire.decode_seconds += net.decode_stats(static_cast<int>(r)).decode_seconds;
+    report.let_sizes.insert(report.let_sizes.end(), sizes[r].begin(), sizes[r].end());
   }
 }
 
@@ -302,24 +419,40 @@ void Simulation::step_lockstep(StepReport& report, std::vector<TimeBreakdown>& r
   for (std::size_t r = 0; r < nranks; ++r)
     ranks_[r]->build(space_, cfg_, rank_times[r]);
 
-  // LET exchange: extraction is sender-side work, grafting receiver-side.
-  std::vector<std::vector<LetTree>> imported(nranks);
+  // LET exchange through the same frame protocol as the async schedule:
+  // extraction is sender-side work, decoding + grafting receiver-side.
+  std::vector<std::uint8_t> active(nranks, 0);
+  for (std::size_t r = 0; r < nranks; ++r) active[r] = !ranks_[r]->parts().empty();
+  LetExchange net(*transport_, active);
   for (std::size_t src = 0; src < nranks; ++src) {
-    if (ranks_[src]->parts().empty()) continue;
-    ScopedTimer t(rank_times[src], "Exchange LET");
+    if (!active[src]) continue;
     for (std::size_t dst = 0; dst < nranks; ++dst) {
-      if (dst == src || ranks_[dst]->parts().empty()) continue;
+      if (dst == src || !active[dst]) continue;
+      WallTimer timer;
       LetTree let = ranks_[src]->export_let(ranks_[dst]->domain_box());
+      rank_times[src].add("Exchange LET", timer.elapsed());
       report.let_cells += let.num_cells();
       report.let_particles += let.num_particles();
-      imported[dst].push_back(std::move(let));
+      net.post(static_cast<int>(src), static_cast<int>(dst), let, 0.0);
     }
   }
   std::vector<LetTree> forests(nranks);
   for (std::size_t dst = 0; dst < nranks; ++dst) {
-    if (imported[dst].empty()) continue;
+    std::vector<LetTree> imported;
+    while (std::optional<wire::LetMessage> msg = net.recv(static_cast<int>(dst))) {
+      report.let_sizes.push_back(
+          {msg->let.num_cells(), msg->let.num_particles(), msg->wire_bytes});
+      imported.push_back(std::move(msg->let));
+    }
+    if (imported.empty()) continue;
     ScopedTimer t(rank_times[dst], "Exchange LET");
-    forests[dst] = graft_lets(imported[dst], cfg_.theta);
+    forests[dst] = graft_lets(imported, cfg_.theta);
+  }
+  for (std::size_t r = 0; r < nranks; ++r) {
+    rank_times[r].add("Wire encode", net.encode_stats(static_cast<int>(r)).encode_seconds);
+    rank_times[r].add("Wire decode", net.decode_stats(static_cast<int>(r)).decode_seconds);
+    report.let_wire += net.encode_stats(static_cast<int>(r));
+    report.let_wire.decode_seconds += net.decode_stats(static_cast<int>(r)).decode_seconds;
   }
 
   for (std::size_t r = 0; r < nranks; ++r) {
@@ -334,11 +467,13 @@ void Simulation::step_lockstep(StepReport& report, std::vector<TimeBreakdown>& r
       ranks_[r]->integrate(cfg_.dt, rank_times[r]);
 }
 
-ParticleSet Simulation::gather() const {
+ParticleSet gather_sorted(std::span<const ParticleSet* const> sets) {
   ParticleSet out;
-  out.reserve(num_particles());
-  for (const auto& rank : ranks_) {
-    const ParticleSet& p = rank->parts();
+  std::size_t total = 0;
+  for (const ParticleSet* p : sets) total += p->size();
+  out.reserve(total);
+  for (const ParticleSet* set : sets) {
+    const ParticleSet& p = *set;
     for (std::size_t i = 0; i < p.size(); ++i) {
       out.add(p.get(i));
       out.ax.back() = p.ax[i];
@@ -356,28 +491,47 @@ ParticleSet Simulation::gather() const {
   return out;
 }
 
+double total_kinetic_energy(std::span<const ParticleSet* const> sets) {
+  double ke = 0.0;
+  for (const ParticleSet* set : sets) {
+    const ParticleSet& p = *set;
+    for (std::size_t i = 0; i < p.size(); ++i) ke += 0.5 * p.mass[i] * norm2(p.vel(i));
+  }
+  return ke;
+}
+
+double total_potential_energy(std::span<const ParticleSet* const> sets) {
+  double pe = 0.0;
+  for (const ParticleSet* set : sets) {
+    const ParticleSet& p = *set;
+    for (std::size_t i = 0; i < p.size(); ++i) pe += 0.5 * p.mass[i] * p.pot[i];
+  }
+  return pe;
+}
+
+namespace {
+
+std::vector<const ParticleSet*> rank_sets(const std::vector<std::unique_ptr<Rank>>& ranks) {
+  std::vector<const ParticleSet*> sets;
+  sets.reserve(ranks.size());
+  for (const auto& rank : ranks) sets.push_back(&rank->parts());
+  return sets;
+}
+
+}  // namespace
+
+ParticleSet Simulation::gather() const { return gather_sorted(rank_sets(ranks_)); }
+
 std::size_t Simulation::num_particles() const {
   std::size_t n = 0;
   for (const auto& rank : ranks_) n += rank->parts().size();
   return n;
 }
 
-double Simulation::kinetic_energy() const {
-  double ke = 0.0;
-  for (const auto& rank : ranks_) {
-    const ParticleSet& p = rank->parts();
-    for (std::size_t i = 0; i < p.size(); ++i) ke += 0.5 * p.mass[i] * norm2(p.vel(i));
-  }
-  return ke;
-}
+double Simulation::kinetic_energy() const { return total_kinetic_energy(rank_sets(ranks_)); }
 
 double Simulation::potential_energy() const {
-  double pe = 0.0;
-  for (const auto& rank : ranks_) {
-    const ParticleSet& p = rank->parts();
-    for (std::size_t i = 0; i < p.size(); ++i) pe += 0.5 * p.mass[i] * p.pot[i];
-  }
-  return pe;
+  return total_potential_energy(rank_sets(ranks_));
 }
 
 void print_step_report(const StepReport& report, std::ostream& os) {
@@ -406,6 +560,16 @@ void print_step_report(const StepReport& report, std::ostream& os) {
      << " | gravity " << TextTable::num(rates.gflops_device, 2)
      << " Gflop/s (device), " << TextTable::num(rates.gflops_parallel, 2)
      << " Gflop/s (parallel model)\n";
+
+  os << "wire: LET " << human_bytes(static_cast<double>(report.let_wire.bytes)) << " in "
+     << report.let_wire.frames << " frame(s), enc "
+     << TextTable::num(report.let_wire.encode_seconds * 1e3) << " ms, dec "
+     << TextTable::num(report.let_wire.decode_seconds * 1e3) << " ms | particles "
+     << human_bytes(static_cast<double>(report.part_wire.bytes)) << " in "
+     << report.part_wire.frames << " frame(s), enc "
+     << TextTable::num(report.part_wire.encode_seconds * 1e3) << " ms, dec "
+     << TextTable::num(report.part_wire.decode_seconds * 1e3) << " ms\n";
+  print_let_histogram(report.let_sizes, os);
 
   if (report.async) {
     os << "pipeline: critical path " << TextTable::num(report.critical_path * 1e3)
@@ -440,6 +604,18 @@ void write_step_report_json(std::span<const StepReport> reports, std::ostream& o
        << ", \"flops\": " << stats.flops()
        << ", \"gflops_device\": " << rates.gflops_device
        << ", \"gflops_parallel\": " << rates.gflops_parallel
+       << ",\n   \"wire\": {\"let_bytes\": " << r.let_wire.bytes
+       << ", \"let_frames\": " << r.let_wire.frames
+       << ", \"let_encode_s\": " << r.let_wire.encode_seconds
+       << ", \"let_decode_s\": " << r.let_wire.decode_seconds
+       << ", \"part_bytes\": " << r.part_wire.bytes
+       << ", \"part_frames\": " << r.part_wire.frames
+       << ", \"part_encode_s\": " << r.part_wire.encode_seconds
+       << ", \"part_decode_s\": " << r.part_wire.decode_seconds << "}";
+    const LetSizeSummary ls = summarize_let_sizes(r.let_sizes);
+    os << ",\n   \"let_size_bytes\": {\"count\": " << r.let_sizes.size()
+       << ", \"min\": " << ls.min_bytes << ", \"median\": " << ls.median_bytes
+       << ", \"max\": " << ls.max_bytes << "}"
        << ",\n   \"stages\": {";
     const auto& entries = r.max_times.entries();
     for (std::size_t e = 0; e < entries.size(); ++e) {

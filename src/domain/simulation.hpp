@@ -10,8 +10,9 @@
 // Two schedules drive the ranks (SimConfig::async):
 //
 // * async (default, §III-B3): one Executor lane per rank runs the whole
-//   pipeline independently; LETs travel through nonblocking Channel
-//   mailboxes, and a rank starts remote gravity on each imported LET as soon
+//   pipeline independently; LETs travel as serialized wire frames through
+//   the byte Transport, and a rank starts remote gravity on each imported
+//   LET as soon
 //   as it arrives — local gravity is not a barrier, and there is no global
 //   graft step. The step report carries the modeled critical path vs the
 //   lockstep stage-sum (overlap efficiency).
@@ -30,10 +31,13 @@
 #include <span>
 #include <vector>
 
+#include "domain/channel.hpp"
 #include "domain/decomposition.hpp"
 #include "domain/executor.hpp"
 #include "domain/rank.hpp"
 #include "domain/schedule.hpp"
+#include "domain/transport.hpp"
+#include "domain/wire.hpp"
 #include "util/flops.hpp"
 #include "util/timer.hpp"
 
@@ -51,6 +55,12 @@ struct StepReport {
   TimeBreakdown max_times;  // per-stage max over ranks (parallel wall-clock)
   TimeBreakdown sum_times;  // per-stage sum over ranks (device-seconds)
   double elapsed = 0.0;     // actual wall-clock of the whole step
+
+  // Serialization accounting: LET frames (summed over ranks) and particle
+  // migration batches, plus the per-imported-LET size samples behind the
+  // step report's histogram.
+  wire::WireStats let_wire, part_wire;
+  std::vector<wire::LetSizeSample> let_sizes;
 
   // Schedule model (async steps only; see schedule.hpp): the pipelined
   // critical path vs the lockstep stage-sum over the rank-concurrent stages,
@@ -122,6 +132,10 @@ class Simulation {
   SimConfig cfg_;
   std::vector<std::unique_ptr<Rank>> ranks_;
   std::unique_ptr<Executor> executor_;  // created on the first async step
+  // All inter-rank traffic (LET frames, particle batches) flows through this
+  // byte transport; swapping it for a socket/MPI backend changes no pipeline
+  // code (the out-of-process driver in domain/cluster.hpp does exactly that).
+  std::unique_ptr<Transport> transport_;
   Decomposition decomp_;
   sfc::KeySpace space_;
   int next_step_ = 0;
@@ -131,6 +145,52 @@ class Simulation {
   std::vector<double> prev_gravity_seconds_;
   std::vector<std::size_t> prev_rank_size_;
 };
+
+// The shared "Domain update" + "Exchange particles" driver stages (used by
+// the in-process Simulation and the cluster coordinator so their reports
+// cannot drift apart): sample a new decomposition from the per-rank sets —
+// cost-weighted by the previous step's gravity seconds per particle when
+// BalanceMode::kCost and a step has been timed — then migrate particles
+// through `transport`, recording counts, stage timings (serialization cost
+// broken out into the wire rows) and wire stats. Returns the domain update
+// so callers keep the bounds/space/partition.
+DomainUpdate redistribute_sets(std::vector<ParticleSet>& sets, const SimConfig& cfg,
+                               std::span<const double> prev_gravity_seconds,
+                               std::span<const std::size_t> prev_rank_size,
+                               Transport& transport, StepReport& report,
+                               TimeBreakdown& driver_times);
+
+// Everything one rank's LET/gravity phase produces.
+struct RankStepStats {
+  std::uint64_t let_cells = 0, let_particles = 0;
+  InteractionStats local_stats, remote_stats;
+  std::vector<wire::LetSizeSample> let_sizes;
+};
+
+// One rank's step body after tree build — the phase the in-process async
+// lanes and the socket workers must run identically for out-of-process runs
+// to reproduce in-process forces: round-robin LET exports starting at
+// self+1, local gravity, remote gravity per arrived LET, integration, and
+// the wire-stage accounting. `next_peer` advances past each successfully
+// posted peer so a caller's failure path knows which posts are still owed.
+// `lane`, when given, records the timeline for the schedule model.
+RankStepStats run_rank_step(Rank& rank, const SimConfig& cfg, LetExchange& net,
+                            std::span<const std::uint8_t> active,
+                            std::span<const AABB> boxes, TimeBreakdown& times,
+                            LaneTimeline* lane, std::size_t& next_peer);
+
+// Concatenate per-rank populations into one set sorted by particle id,
+// forces/potentials/keys preserved — the gather() both drivers expose — and
+// the energy diagnostics over the same populations (KE from velocities, PE
+// from the per-particle potentials of the last force pass).
+ParticleSet gather_sorted(std::span<const ParticleSet* const> sets);
+double total_kinetic_energy(std::span<const ParticleSet* const> sets);
+double total_potential_energy(std::span<const ParticleSet* const> sets);
+
+// Fold driver-level and per-rank stage times into the report's max/sum
+// aggregate views, in canonical Table II stage order.
+void fold_stage_times(StepReport& report, const TimeBreakdown& driver_times,
+                      std::span<const TimeBreakdown> rank_times);
 
 // Render a StepReport as the per-stage timing table (Table II layout), plus
 // the pipeline/overlap lines for async steps.

@@ -1,0 +1,326 @@
+#include "domain/transport.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "domain/wire.hpp"
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace bonsai::domain {
+
+namespace {
+
+// Routing header preceding every frame on a socket: src, dst, frame length.
+constexpr std::size_t kRouteBytes = 16;
+
+// Upper bound on a single routed frame; larger lengths are treated as stream
+// corruption (a 63-bit length from garbage bytes must not drive a resize).
+constexpr std::uint64_t kMaxFrameBytes = std::uint64_t{1} << 31;
+
+void put_le32(std::uint8_t* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+void put_le64(std::uint8_t* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint32_t get_le32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t get_le64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+bool read_exact(int fd, std::uint8_t* buf, std::size_t n) {
+  while (n > 0) {
+    const ssize_t got = ::recv(fd, buf, n, 0);
+    if (got <= 0) {
+      if (got < 0 && errno == EINTR) continue;
+      return false;  // peer closed or hard error: treated as end of stream
+    }
+    buf += got;
+    n -= static_cast<std::size_t>(got);
+  }
+  return true;
+}
+
+void write_exact(int fd, const std::uint8_t* buf, std::size_t n) {
+  while (n > 0) {
+    const ssize_t put = ::send(fd, buf, n, MSG_NOSIGNAL);
+    if (put <= 0) {
+      if (put < 0 && errno == EINTR) continue;
+      throw std::runtime_error("SocketTransport: peer connection lost on write");
+    }
+    buf += put;
+    n -= static_cast<std::size_t>(put);
+  }
+}
+
+void set_nodelay(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+sockaddr_in loopback_addr(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+    throw std::runtime_error("SocketTransport: bad coordinator address: " + host);
+  return addr;
+}
+
+}  // namespace
+
+// --- InProcTransport ---------------------------------------------------------
+
+InProcTransport::InProcTransport(int nranks) {
+  BONSAI_CHECK(nranks >= 1);
+  mailboxes_.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r)
+    mailboxes_.push_back(std::make_unique<Channel<std::vector<std::uint8_t>>>());
+}
+
+void InProcTransport::post(int src, int dst, std::vector<std::uint8_t> frame) {
+  (void)src;
+  BONSAI_CHECK(dst >= 0 && dst < num_ranks());
+  mailboxes_[static_cast<std::size_t>(dst)]->send(std::move(frame));
+}
+
+std::optional<std::vector<std::uint8_t>> InProcTransport::recv(int dst) {
+  BONSAI_CHECK(dst >= 0 && dst < num_ranks());
+  return mailboxes_[static_cast<std::size_t>(dst)]->recv();
+}
+
+void InProcTransport::close(int dst) {
+  BONSAI_CHECK(dst >= 0 && dst < num_ranks());
+  mailboxes_[static_cast<std::size_t>(dst)]->close();
+}
+
+// --- SocketTransport ---------------------------------------------------------
+
+struct SocketTransport::Peer {
+  int fd = -1;
+  int rank = kCoordinatorRank;  // remote endpoint on the other end of fd
+  std::mutex write_mutex;
+  std::thread reader;
+};
+
+std::unique_ptr<SocketTransport> SocketTransport::listen(std::uint16_t port, int nworkers) {
+  BONSAI_CHECK(nworkers >= 1);
+  auto t = std::unique_ptr<SocketTransport>(new SocketTransport());
+  t->coordinator_ = true;
+  t->nworkers_ = nworkers;
+
+  // CLOEXEC: spawned worker processes must not inherit the listening socket
+  // (an orphaned worker would otherwise hold the port after the coordinator
+  // dies).
+  t->listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (t->listen_fd_ < 0) throw std::runtime_error("SocketTransport: socket() failed");
+  const int one = 1;
+  ::setsockopt(t->listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = loopback_addr("127.0.0.1", port);
+  if (::bind(t->listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0)
+    throw std::runtime_error("SocketTransport: bind to port " + std::to_string(port) +
+                             " failed");
+  if (::listen(t->listen_fd_, nworkers) != 0)
+    throw std::runtime_error("SocketTransport: listen failed");
+
+  socklen_t len = sizeof(addr);
+  ::getsockname(t->listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  t->port_ = ntohs(addr.sin_port);
+  t->peers_.resize(static_cast<std::size_t>(nworkers));
+  return t;
+}
+
+void SocketTransport::accept_workers(int timeout_ms,
+                                     const std::function<bool()>& keep_waiting) {
+  BONSAI_CHECK(coordinator_);
+  WallTimer deadline;
+  for (int i = 0; i < nworkers_; ++i) {
+    // Poll in short slices so a deadline or a died-before-connecting worker
+    // aborts the wait instead of hanging in accept() forever.
+    for (;;) {
+      if (timeout_ms > 0 && deadline.elapsed() * 1e3 > timeout_ms)
+        throw std::runtime_error("SocketTransport: timed out waiting for workers (" +
+                                 std::to_string(i) + "/" + std::to_string(nworkers_) +
+                                 " connected)");
+      if (keep_waiting && !keep_waiting())
+        throw std::runtime_error("SocketTransport: a worker exited before connecting");
+      pollfd pfd{listen_fd_, POLLIN, 0};
+      const int ready = ::poll(&pfd, 1, 200);
+      if (ready < 0 && errno != EINTR)
+        throw std::runtime_error("SocketTransport: poll on listen socket failed");
+      if (ready > 0) break;
+    }
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) throw std::runtime_error("SocketTransport: accept failed");
+    set_nodelay(fd);
+
+    // The first routed frame on every worker connection is its Hello; a
+    // connected-but-silent peer trips the receive timeout instead of
+    // blocking the handshake forever.
+    timeval hello_timeout{30, 0};
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &hello_timeout, sizeof(hello_timeout));
+    std::uint8_t route[kRouteBytes];
+    if (!read_exact(fd, route, kRouteBytes))
+      throw std::runtime_error("SocketTransport: worker hung up before hello");
+    const std::uint64_t flen = get_le64(route + 8);
+    if (flen > kMaxFrameBytes)
+      throw std::runtime_error("SocketTransport: oversized hello frame");
+    std::vector<std::uint8_t> frame(static_cast<std::size_t>(flen));
+    if (!read_exact(fd, frame.data(), frame.size()))
+      throw std::runtime_error("SocketTransport: truncated hello frame");
+    hello_timeout = {0, 0};  // back to blocking reads for the reader thread
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &hello_timeout, sizeof(hello_timeout));
+    const int rank = wire::decode_hello(frame);
+    if (rank < 0 || rank >= nworkers_)
+      throw std::runtime_error("SocketTransport: hello announced rank " +
+                               std::to_string(rank) + " outside [0, " +
+                               std::to_string(nworkers_) + ")");
+    auto& slot = peers_[static_cast<std::size_t>(rank)];
+    if (slot) throw std::runtime_error("SocketTransport: duplicate worker rank " +
+                                       std::to_string(rank));
+    slot = std::make_unique<Peer>();
+    slot->fd = fd;
+    slot->rank = rank;
+  }
+  for (std::size_t i = 0; i < peers_.size(); ++i) start_reader(i);
+}
+
+std::unique_ptr<SocketTransport> SocketTransport::connect(const std::string& host,
+                                                          std::uint16_t port, int rank) {
+  BONSAI_CHECK(rank >= 0);
+  auto t = std::unique_ptr<SocketTransport>(new SocketTransport());
+  t->coordinator_ = false;
+  t->local_rank_ = rank;
+  t->port_ = port;
+
+  const sockaddr_in addr = loopback_addr(host, port);
+  int fd = -1;
+  // Brief retry window so externally-launched workers may start a moment
+  // before the coordinator is listening.
+  for (int attempt = 0; attempt < 50; ++attempt) {
+    fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) throw std::runtime_error("SocketTransport: socket() failed");
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) == 0) break;
+    ::close(fd);
+    fd = -1;
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  if (fd < 0)
+    throw std::runtime_error("SocketTransport: cannot reach coordinator at " + host + ":" +
+                             std::to_string(port));
+  set_nodelay(fd);
+
+  auto peer = std::make_unique<Peer>();
+  peer->fd = fd;
+  peer->rank = kCoordinatorRank;
+  t->peers_.push_back(std::move(peer));
+  t->write_routed(*t->peers_[0], rank, kCoordinatorRank, wire::encode_hello(rank));
+  t->start_reader(0);
+  return t;
+}
+
+SocketTransport::~SocketTransport() {
+  for (auto& peer : peers_) {
+    if (peer && peer->fd >= 0) ::shutdown(peer->fd, SHUT_RDWR);
+  }
+  for (auto& peer : peers_) {
+    if (peer && peer->reader.joinable()) peer->reader.join();
+    if (peer && peer->fd >= 0) ::close(peer->fd);
+  }
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+void SocketTransport::write_routed(Peer& peer, int src, int dst,
+                                   std::span<const std::uint8_t> frame) {
+  std::uint8_t route[kRouteBytes];
+  put_le32(route, static_cast<std::uint32_t>(src));
+  put_le32(route + 4, static_cast<std::uint32_t>(dst));
+  put_le64(route + 8, frame.size());
+  std::lock_guard lock(peer.write_mutex);
+  write_exact(peer.fd, route, kRouteBytes);
+  write_exact(peer.fd, frame.data(), frame.size());
+}
+
+void SocketTransport::start_reader(std::size_t peer_index) {
+  Peer& peer = *peers_[peer_index];
+  peer.reader = std::thread([this, &peer] {
+    try {
+      for (;;) {
+        std::uint8_t route[kRouteBytes];
+        if (!read_exact(peer.fd, route, kRouteBytes)) break;
+        const int src = static_cast<std::int32_t>(get_le32(route));
+        const int dst = static_cast<std::int32_t>(get_le32(route + 4));
+        const std::uint64_t flen = get_le64(route + 8);
+        if (flen > kMaxFrameBytes) break;  // stream corruption
+        std::vector<std::uint8_t> frame(static_cast<std::size_t>(flen));
+        if (!read_exact(peer.fd, frame.data(), frame.size())) break;
+
+        const int local = coordinator_ ? kCoordinatorRank : local_rank_;
+        if (dst == local) {
+          inbox_.send(std::move(frame));
+        } else if (coordinator_ && dst >= 0 && dst < nworkers_ &&
+                   peers_[static_cast<std::size_t>(dst)]) {
+          write_routed(*peers_[static_cast<std::size_t>(dst)], src, dst, frame);
+        } else {
+          break;  // misrouted frame: treat as fatal stream corruption
+        }
+      }
+    } catch (...) {
+      // Fall through to closing the inbox: blocked receivers fail fast.
+    }
+    close_all_local();
+  });
+}
+
+void SocketTransport::close_all_local() { inbox_.close(); }
+
+void SocketTransport::post(int src, int dst, std::vector<std::uint8_t> frame) {
+  const int local = coordinator_ ? kCoordinatorRank : local_rank_;
+  if (dst == local) {
+    inbox_.send(std::move(frame));
+    return;
+  }
+  if (coordinator_) {
+    BONSAI_CHECK(dst >= 0 && dst < nworkers_);
+    auto& peer = peers_[static_cast<std::size_t>(dst)];
+    BONSAI_CHECK_MSG(peer != nullptr, "post to a worker that never connected");
+    write_routed(*peer, src, dst, frame);
+  } else {
+    // Worker: everything leaves through the coordinator, which routes it.
+    write_routed(*peers_[0], src, dst, frame);
+  }
+}
+
+std::optional<std::vector<std::uint8_t>> SocketTransport::recv(int dst) {
+  const int local = coordinator_ ? kCoordinatorRank : local_rank_;
+  BONSAI_CHECK_MSG(dst == local, "recv on a non-local endpoint");
+  return inbox_.recv();
+}
+
+void SocketTransport::close(int dst) {
+  const int local = coordinator_ ? kCoordinatorRank : local_rank_;
+  BONSAI_CHECK_MSG(dst == local, "close on a non-local endpoint");
+  inbox_.close();
+}
+
+}  // namespace bonsai::domain

@@ -1,0 +1,116 @@
+// Byte-oriented inter-rank transport: the seam where MPI would slot in.
+//
+// A Transport moves encoded wire frames (see domain/wire.hpp) between rank
+// endpoints. post() is nonblocking (the MPI_Isend analogue) and recv()
+// blocks until a frame addressed to the endpoint arrives — exactly the
+// contract the LET exchange and the particle alltoallv are written against,
+// so every backend (in-process loopback, localhost TCP, a future MPI
+// subclass) is interchangeable behind this interface.
+//
+// Two backends ship today:
+//
+// * InProcTransport — per-endpoint mailboxes inside one process; frames are
+//   moved, not copied, preserving the PR-2 threaded-pipeline performance.
+// * SocketTransport — localhost TCP in a star topology: worker processes
+//   each hold one connection to a coordinator, which routes worker-to-worker
+//   frames and terminates control frames addressed to kCoordinatorRank.
+//   Frames on the socket are preceded by a 16-byte routing header
+//   (src, dst, length); payload bytes are identical to the in-process case.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "domain/channel.hpp"
+
+namespace bonsai::domain {
+
+// Destination id of the cluster coordinator (valid rank ids are >= 0).
+inline constexpr int kCoordinatorRank = -1;
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  // Nonblocking post of an encoded frame from `src` to `dst`.
+  virtual void post(int src, int dst, std::vector<std::uint8_t> frame) = 0;
+
+  // Blocking receive of the next frame addressed to `dst`, in arrival order;
+  // nullopt once the endpoint is closed *and* drained. `dst` must be an
+  // endpoint local to this transport instance.
+  virtual std::optional<std::vector<std::uint8_t>> recv(int dst) = 0;
+
+  // Mark a local endpoint as complete: pending frames stay receivable, then
+  // recv() returns nullopt. Used by failure paths to fail fast, never hang.
+  virtual void close(int dst) = 0;
+};
+
+// All ranks in one process; endpoint r's mailbox is a Channel of frames.
+class InProcTransport final : public Transport {
+ public:
+  explicit InProcTransport(int nranks);
+
+  int num_ranks() const { return static_cast<int>(mailboxes_.size()); }
+
+  void post(int src, int dst, std::vector<std::uint8_t> frame) override;
+  std::optional<std::vector<std::uint8_t>> recv(int dst) override;
+  void close(int dst) override;
+
+ private:
+  std::vector<std::unique_ptr<Channel<std::vector<std::uint8_t>>>> mailboxes_;
+};
+
+// Localhost TCP star: create with listen() on the coordinator (local
+// endpoint kCoordinatorRank) or connect() on a worker (local endpoint =
+// its rank id). A reader thread per socket delivers incoming frames to the
+// local mailbox or, on the coordinator, forwards worker-to-worker frames.
+// A peer disconnect closes the local mailboxes, so blocked recv() calls
+// fail fast instead of hanging.
+class SocketTransport final : public Transport {
+ public:
+  // Coordinator side: bind + listen immediately (so port() is known before
+  // workers are spawned); accept_workers() then blocks until all `nworkers`
+  // have connected and announced their rank with a Hello frame. Fail fast,
+  // never hang: with timeout_ms > 0 the wait throws after that deadline,
+  // and `keep_waiting`, when given, is polled between accepts — returning
+  // false (e.g. a spawned worker died before connecting) aborts the wait.
+  static std::unique_ptr<SocketTransport> listen(std::uint16_t port, int nworkers);
+  void accept_workers(int timeout_ms = 0, const std::function<bool()>& keep_waiting = {});
+
+  // Worker side: connect to the coordinator and announce `rank`.
+  static std::unique_ptr<SocketTransport> connect(const std::string& host,
+                                                  std::uint16_t port, int rank);
+
+  ~SocketTransport() override;
+
+  std::uint16_t port() const { return port_; }
+
+  void post(int src, int dst, std::vector<std::uint8_t> frame) override;
+  std::optional<std::vector<std::uint8_t>> recv(int dst) override;
+  void close(int dst) override;
+
+ private:
+  struct Peer;  // one connected socket + its writer mutex and reader thread
+
+  SocketTransport() = default;
+  void start_reader(std::size_t peer_index);
+  void write_routed(Peer& peer, int src, int dst, std::span<const std::uint8_t> frame);
+  void close_all_local();
+
+  bool coordinator_ = false;
+  int local_rank_ = kCoordinatorRank;  // worker: its rank id
+  int nworkers_ = 0;
+  std::uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  std::vector<std::unique_ptr<Peer>> peers_;  // coordinator: by rank; worker: [0]
+  // Coordinator: one mailbox (control/result frames addressed to it).
+  // Worker: one mailbox (all frames addressed to its rank).
+  Channel<std::vector<std::uint8_t>> inbox_;
+};
+
+}  // namespace bonsai::domain

@@ -1,0 +1,482 @@
+#include "domain/wire.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "util/check.hpp"
+
+namespace bonsai::domain::wire {
+
+namespace {
+
+constexpr bool kHostLittle = std::endian::native == std::endian::little;
+
+// Per-node wire footprint: keys (16) + particle range (8) + child link (5) +
+// level/kind (2) + box (48) + multipole (80) + rcrit (8).
+constexpr std::size_t kNodeBytes = 167;
+
+// Per-particle footprint without / with the force block.
+constexpr std::size_t kParticleBytes = 9 * 8;
+constexpr std::size_t kParticleForceBytes = 13 * 8;
+
+// --- Flat little-endian writer ----------------------------------------------
+class Writer {
+ public:
+  explicit Writer(FrameType type) {
+    buf_.reserve(64);
+    u32(kMagic);
+    u16(kVersion);
+    u16(static_cast<std::uint16_t>(type));
+    u64(0);  // payload length, patched by finish()
+  }
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) { raw(v); }
+  void u32(std::uint32_t v) { raw(v); }
+  void u64(std::uint64_t v) { raw(v); }
+  void i32(std::int32_t v) { raw(static_cast<std::uint32_t>(v)); }
+  void f64(double v) { raw(std::bit_cast<std::uint64_t>(v)); }
+
+  void f64_span(std::span<const double> v) { raw_span(v); }
+  void u64_span(std::span<const std::uint64_t> v) { raw_span(v); }
+
+  void vec3(const Vec3d& v) {
+    f64(v.x);
+    f64(v.y);
+    f64(v.z);
+  }
+
+  void aabb(const AABB& b) {
+    vec3(b.lo);
+    vec3(b.hi);
+  }
+
+  std::vector<std::uint8_t> finish() {
+    const std::uint64_t payload = buf_.size() - kHeaderBytes;
+    for (int i = 0; i < 8; ++i)
+      buf_[8 + static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(payload >> (8 * i));
+    return std::move(buf_);
+  }
+
+ private:
+  template <typename T>
+  void raw(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i)
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  template <typename T>
+  void raw_span(std::span<const T> v) {
+    if constexpr (kHostLittle) {
+      const auto* p = reinterpret_cast<const std::uint8_t*>(v.data());
+      buf_.insert(buf_.end(), p, p + v.size_bytes());
+    } else {
+      for (const T x : v) raw(std::bit_cast<std::uint64_t>(x));
+    }
+  }
+
+  std::vector<std::uint8_t> buf_;
+};
+
+// --- Bounds-checked little-endian reader -------------------------------------
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  std::size_t remaining() const { return bytes_.size() - pos_; }
+
+  void require(bool cond, const char* what) {
+    if (!cond) throw WireError(std::string("wire decode: ") + what);
+  }
+
+  std::uint8_t u8() { return take(1)[0]; }
+  std::uint16_t u16() { return raw<std::uint16_t>(); }
+  std::uint32_t u32() { return raw<std::uint32_t>(); }
+  std::uint64_t u64() { return raw<std::uint64_t>(); }
+  std::int32_t i32() { return static_cast<std::int32_t>(raw<std::uint32_t>()); }
+  double f64() { return std::bit_cast<double>(raw<std::uint64_t>()); }
+
+  void f64_span(std::span<double> out) { raw_span(out); }
+  void u64_span(std::span<std::uint64_t> out) { raw_span(out); }
+
+  // Sized-array handshake: validate that `count` elements of `elem_bytes`
+  // each actually fit in the remaining payload *before* any allocation, so a
+  // corrupted count can neither overflow nor trigger a huge resize.
+  std::size_t array_count(std::uint64_t count, std::size_t elem_bytes, const char* what) {
+    require(elem_bytes == 0 || count <= remaining() / elem_bytes, what);
+    return static_cast<std::size_t>(count);
+  }
+
+  Vec3d vec3() { return {f64(), f64(), f64()}; }
+
+  AABB aabb() {
+    AABB b;
+    b.lo = vec3();
+    b.hi = vec3();
+    return b;
+  }
+
+  void done() { require(pos_ == bytes_.size(), "trailing bytes after payload"); }
+
+ private:
+  std::span<const std::uint8_t> take(std::size_t n) {
+    require(n <= remaining(), "truncated frame");
+    const auto s = bytes_.subspan(pos_, n);
+    pos_ += n;
+    return s;
+  }
+
+  template <typename T>
+  T raw() {
+    const auto s = take(sizeof(T));
+    T v = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) v |= static_cast<T>(s[i]) << (8 * i);
+    return v;
+  }
+
+  template <typename T>
+  void raw_span(std::span<T> out) {
+    const auto s = take(out.size_bytes());
+    if constexpr (kHostLittle) {
+      std::memcpy(out.data(), s.data(), s.size());
+    } else {
+      Reader sub(s);
+      for (T& x : out) x = std::bit_cast<T>(sub.raw<std::uint64_t>());
+    }
+  }
+
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+// Validate the header and position a Reader at the payload.
+Reader open_frame(std::span<const std::uint8_t> frame, FrameType expected) {
+  const FrameType type = frame_type(frame);
+  if (type != expected)
+    throw WireError("wire decode: unexpected frame type " +
+                    std::to_string(static_cast<int>(type)) + " (expected " +
+                    std::to_string(static_cast<int>(expected)) + ")");
+  return Reader(frame.subspan(kHeaderBytes));
+}
+
+void put_node(Writer& w, const TreeNode& nd) {
+  w.u64(nd.key_begin);
+  w.u64(nd.key_end);
+  w.u32(nd.part_begin);
+  w.u32(nd.part_end);
+  w.i32(nd.first_child);
+  w.u8(nd.num_children);
+  w.u8(nd.level);
+  w.u8(static_cast<std::uint8_t>(nd.kind));
+  w.aabb(nd.box);
+  w.f64(nd.mp.mass);
+  w.vec3(nd.mp.com);
+  for (double q : nd.mp.quad.q) w.f64(q);
+  w.f64(nd.rcrit);
+}
+
+// Read one node and enforce the structural invariants both LET producers
+// guarantee: children are a forward-pointing contiguous block inside the
+// node array (so traversal cannot cycle), leaves have no children, and the
+// particle range lies inside the payload arrays.
+TreeNode read_node(Reader& r, std::size_t index, std::size_t num_nodes,
+                   std::size_t num_particles) {
+  TreeNode nd;
+  nd.key_begin = r.u64();
+  nd.key_end = r.u64();
+  nd.part_begin = r.u32();
+  nd.part_end = r.u32();
+  nd.first_child = r.i32();
+  nd.num_children = r.u8();
+  nd.level = r.u8();
+  const std::uint8_t kind = r.u8();
+  nd.box = r.aabb();
+  nd.mp.mass = r.f64();
+  nd.mp.com = r.vec3();
+  for (double& q : nd.mp.quad.q) q = r.f64();
+  nd.rcrit = r.f64();
+
+  r.require(kind <= static_cast<std::uint8_t>(NodeKind::kMultipoleLeaf),
+            "unknown node kind");
+  nd.kind = static_cast<NodeKind>(kind);
+  r.require(nd.key_begin <= nd.key_end, "node key range inverted");
+  r.require(nd.part_begin <= nd.part_end, "node particle range inverted");
+  r.require(nd.part_end <= num_particles, "node particle range out of bounds");
+  if (nd.kind == NodeKind::kInternal) {
+    r.require(nd.num_children >= 1, "internal node without children");
+    r.require(nd.first_child > static_cast<std::int32_t>(index),
+              "child block does not point forward");
+    r.require(static_cast<std::size_t>(nd.first_child) + nd.num_children <= num_nodes,
+              "child block out of bounds");
+  } else {
+    r.require(nd.num_children == 0, "leaf node with children");
+    nd.first_child = -1;
+  }
+  return nd;
+}
+
+void put_particle_payload(Writer& w, int src, const ParticleSet& p, bool with_forces) {
+  w.i32(src);
+  w.u8(with_forces ? 1 : 0);
+  w.u64(p.size());
+  w.f64_span(p.x);
+  w.f64_span(p.y);
+  w.f64_span(p.z);
+  w.f64_span(p.vx);
+  w.f64_span(p.vy);
+  w.f64_span(p.vz);
+  w.f64_span(p.mass);
+  w.u64_span(p.id);
+  w.u64_span(p.key);
+  if (with_forces) {
+    w.f64_span(p.ax);
+    w.f64_span(p.ay);
+    w.f64_span(p.az);
+    w.f64_span(p.pot);
+  }
+}
+
+ParticleBatch read_particle_payload(Reader& r) {
+  ParticleBatch batch;
+  batch.src = r.i32();
+  const std::uint8_t flags = r.u8();
+  r.require(flags <= 1, "unknown particle batch flags");
+  batch.with_forces = flags != 0;
+  const std::size_t n =
+      r.array_count(r.u64(), batch.with_forces ? kParticleForceBytes : kParticleBytes,
+                    "particle count exceeds payload");
+  ParticleSet& p = batch.parts;
+  p.resize(n);
+  r.f64_span(p.x);
+  r.f64_span(p.y);
+  r.f64_span(p.z);
+  r.f64_span(p.vx);
+  r.f64_span(p.vy);
+  r.f64_span(p.vz);
+  r.f64_span(p.mass);
+  r.u64_span(p.id);
+  r.u64_span(p.key);
+  if (batch.with_forces) {
+    r.f64_span(p.ax);
+    r.f64_span(p.ay);
+    r.f64_span(p.az);
+    r.f64_span(p.pot);
+  }
+  return batch;
+}
+
+}  // namespace
+
+FrameType frame_type(std::span<const std::uint8_t> frame) {
+  if (frame.size() < kHeaderBytes) throw WireError("wire decode: frame shorter than header");
+  Reader r(frame);
+  if (r.u32() != kMagic) throw WireError("wire decode: bad magic");
+  const std::uint16_t version = r.u16();
+  if (version != kVersion)
+    throw WireError("wire decode: version mismatch (got " + std::to_string(version) +
+                    ", expected " + std::to_string(kVersion) + ")");
+  const auto type = static_cast<FrameType>(r.u16());
+  if (r.u64() != frame.size() - kHeaderBytes)
+    throw WireError("wire decode: payload length mismatch");
+  return type;
+}
+
+std::vector<std::uint8_t> encode_let(const LetMessage& msg) {
+  Writer w(FrameType::kLet);
+  w.i32(msg.src);
+  w.f64(msg.export_seconds);
+  w.u32(static_cast<std::uint32_t>(msg.let.nodes.size()));
+  w.u32(static_cast<std::uint32_t>(msg.let.num_particles()));
+  for (const TreeNode& nd : msg.let.nodes) put_node(w, nd);
+  w.f64_span(msg.let.x);
+  w.f64_span(msg.let.y);
+  w.f64_span(msg.let.z);
+  w.f64_span(msg.let.m);
+  return w.finish();
+}
+
+LetMessage decode_let(std::span<const std::uint8_t> frame) {
+  Reader r = open_frame(frame, FrameType::kLet);
+  LetMessage msg;
+  msg.wire_bytes = frame.size();
+  msg.src = r.i32();
+  msg.export_seconds = r.f64();
+  const std::size_t num_nodes = r.u32();
+  const std::size_t num_parts = r.u32();
+  r.require(num_nodes <= r.remaining() / kNodeBytes,
+            "node count exceeds payload");
+  r.require(num_parts <= (r.remaining() - num_nodes * kNodeBytes) / (4 * 8),
+            "particle count exceeds payload");
+  msg.let.nodes.reserve(num_nodes);
+  for (std::size_t i = 0; i < num_nodes; ++i)
+    msg.let.nodes.push_back(read_node(r, i, num_nodes, num_parts));
+  msg.let.x.resize(num_parts);
+  msg.let.y.resize(num_parts);
+  msg.let.z.resize(num_parts);
+  msg.let.m.resize(num_parts);
+  r.f64_span(msg.let.x);
+  r.f64_span(msg.let.y);
+  r.f64_span(msg.let.z);
+  r.f64_span(msg.let.m);
+  r.done();
+  return msg;
+}
+
+std::vector<std::uint8_t> encode_particles(int src, const ParticleSet& parts,
+                                           bool with_forces) {
+  Writer w(FrameType::kParticles);
+  put_particle_payload(w, src, parts, with_forces);
+  return w.finish();
+}
+
+ParticleBatch decode_particles(std::span<const std::uint8_t> frame) {
+  Reader r = open_frame(frame, FrameType::kParticles);
+  ParticleBatch batch = read_particle_payload(r);
+  r.done();
+  return batch;
+}
+
+std::vector<std::uint8_t> encode_hello(int rank) {
+  Writer w(FrameType::kHello);
+  w.i32(rank);
+  return w.finish();
+}
+
+int decode_hello(std::span<const std::uint8_t> frame) {
+  Reader r = open_frame(frame, FrameType::kHello);
+  const int rank = r.i32();
+  r.done();
+  return rank;
+}
+
+std::vector<std::uint8_t> encode_config(const SimConfig& cfg) {
+  Writer w(FrameType::kConfig);
+  w.i32(cfg.nranks);
+  w.f64(cfg.theta);
+  w.f64(cfg.eps);
+  w.i32(cfg.nleaf);
+  w.i32(cfg.ncrit);
+  w.u8(cfg.quadrupole ? 1 : 0);
+  w.f64(cfg.dt);
+  w.u8(cfg.curve == sfc::CurveType::kMorton ? 1 : 0);
+  w.u64(cfg.samples_per_rank);
+  w.i32(cfg.snap_level);
+  return w.finish();
+}
+
+SimConfig decode_config(std::span<const std::uint8_t> frame) {
+  Reader r = open_frame(frame, FrameType::kConfig);
+  SimConfig cfg;
+  cfg.nranks = r.i32();
+  cfg.theta = r.f64();
+  cfg.eps = r.f64();
+  cfg.nleaf = r.i32();
+  cfg.ncrit = r.i32();
+  cfg.quadrupole = r.u8() != 0;
+  cfg.dt = r.f64();
+  cfg.curve = r.u8() != 0 ? sfc::CurveType::kMorton : sfc::CurveType::kHilbert;
+  cfg.samples_per_rank = r.u64();
+  cfg.snap_level = r.i32();
+  r.done();
+  r.require(cfg.nranks >= 1 && cfg.nranks <= 255, "config rank count out of range");
+  return cfg;
+}
+
+std::vector<std::uint8_t> encode_step_begin(const StepBegin& sb) {
+  BONSAI_CHECK(sb.active.size() == sb.boxes.size());
+  Writer w(FrameType::kStepBegin);
+  w.i32(sb.step);
+  w.aabb(sb.bounds);
+  w.u32(static_cast<std::uint32_t>(sb.active.size()));
+  for (const std::uint8_t a : sb.active) w.u8(a != 0 ? 1 : 0);
+  for (const AABB& b : sb.boxes) w.aabb(b);
+  put_particle_payload(w, -1, sb.parts, /*with_forces=*/false);
+  return w.finish();
+}
+
+StepBegin decode_step_begin(std::span<const std::uint8_t> frame) {
+  Reader r = open_frame(frame, FrameType::kStepBegin);
+  StepBegin sb;
+  sb.step = r.i32();
+  sb.bounds = r.aabb();
+  const std::size_t nranks =
+      r.array_count(r.u32(), 1 + 6 * 8, "rank count exceeds payload");
+  sb.active.resize(nranks);
+  for (std::uint8_t& a : sb.active) a = r.u8();
+  sb.boxes.resize(nranks);
+  for (AABB& b : sb.boxes) b = r.aabb();
+  ParticleBatch batch = read_particle_payload(r);
+  r.require(!batch.with_forces, "step-begin batch must not carry forces");
+  sb.parts = std::move(batch.parts);
+  r.done();
+  return sb;
+}
+
+std::vector<std::uint8_t> encode_step_result(const StepResult& sr) {
+  Writer w(FrameType::kStepResult);
+  w.i32(sr.rank);
+  w.u64(sr.let_cells);
+  w.u64(sr.let_particles);
+  w.u64(sr.local_stats.p2p);
+  w.u64(sr.local_stats.p2c);
+  w.u64(sr.remote_stats.p2p);
+  w.u64(sr.remote_stats.p2c);
+  w.u32(static_cast<std::uint32_t>(sr.times.entries().size()));
+  for (const auto& e : sr.times.entries()) {
+    w.u32(static_cast<std::uint32_t>(e.name.size()));
+    for (const char c : e.name) w.u8(static_cast<std::uint8_t>(c));
+    w.f64(e.seconds);
+  }
+  w.u32(static_cast<std::uint32_t>(sr.let_sizes.size()));
+  for (const LetSizeSample& s : sr.let_sizes) {
+    w.u64(s.cells);
+    w.u64(s.particles);
+    w.u64(s.bytes);
+  }
+  w.u64(sr.let_wire.frames);
+  w.u64(sr.let_wire.bytes);
+  w.f64(sr.let_wire.encode_seconds);
+  w.f64(sr.let_wire.decode_seconds);
+  put_particle_payload(w, sr.rank, sr.parts, /*with_forces=*/true);
+  return w.finish();
+}
+
+StepResult decode_step_result(std::span<const std::uint8_t> frame) {
+  Reader r = open_frame(frame, FrameType::kStepResult);
+  StepResult sr;
+  sr.rank = r.i32();
+  sr.let_cells = r.u64();
+  sr.let_particles = r.u64();
+  sr.local_stats.p2p = r.u64();
+  sr.local_stats.p2c = r.u64();
+  sr.remote_stats.p2p = r.u64();
+  sr.remote_stats.p2c = r.u64();
+  const std::size_t ntimes = r.array_count(r.u32(), 4 + 8, "timing count exceeds payload");
+  for (std::size_t i = 0; i < ntimes; ++i) {
+    const std::size_t len = r.array_count(r.u32(), 1, "timing name exceeds payload");
+    std::string name(len, '\0');
+    for (char& c : name) c = static_cast<char>(r.u8());
+    sr.times.add(name, r.f64());
+  }
+  const std::size_t nsizes = r.array_count(r.u32(), 3 * 8, "LET size count exceeds payload");
+  sr.let_sizes.resize(nsizes);
+  for (LetSizeSample& s : sr.let_sizes) {
+    s.cells = r.u64();
+    s.particles = r.u64();
+    s.bytes = r.u64();
+  }
+  sr.let_wire.frames = r.u64();
+  sr.let_wire.bytes = r.u64();
+  sr.let_wire.encode_seconds = r.f64();
+  sr.let_wire.decode_seconds = r.f64();
+  ParticleBatch batch = read_particle_payload(r);
+  r.require(batch.with_forces, "step-result batch must carry forces");
+  sr.parts = std::move(batch.parts);
+  r.done();
+  return sr;
+}
+
+std::vector<std::uint8_t> encode_shutdown() { return Writer(FrameType::kShutdown).finish(); }
+
+}  // namespace bonsai::domain::wire

@@ -1,0 +1,149 @@
+// Versioned wire format for inter-rank messages (the serialization layer the
+// ROADMAP names as the blocker for real transports, §III-B of the paper).
+//
+// Every message is a self-describing *frame*: a fixed 16-byte header
+// (magic, version, frame type, payload length) followed by a flat
+// little-endian payload. Frames are what a Transport moves between ranks —
+// live C++ objects never cross the rank boundary, so an MPI or socket
+// backend carries exactly the same bytes as the in-process loopback.
+//
+// Decoding validates hard: magic/version/type/length are checked before any
+// payload read, every payload read is bounds-checked against the buffer, and
+// structural invariants of decoded trees (node kinds, child ranges pointing
+// strictly forward, particle ranges inside the payload arrays) are enforced.
+// A malformed frame throws WireError; it never reads out of bounds and never
+// produces a tree the traversal could walk off of.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "domain/let.hpp"
+#include "domain/rank.hpp"
+#include "tree/particle.hpp"
+#include "util/flops.hpp"
+#include "util/timer.hpp"
+
+namespace bonsai::domain::wire {
+
+// Frame header constants. The magic bytes spell "BNSW" on the wire.
+inline constexpr std::uint32_t kMagic = 0x57534E42u;
+inline constexpr std::uint16_t kVersion = 1;
+inline constexpr std::size_t kHeaderBytes = 16;
+
+enum class FrameType : std::uint16_t {
+  kLet = 1,        // one rank's LET for one remote rank
+  kParticles = 2,  // particle-migration batch (alltoallv cell)
+  kHello = 3,      // worker -> coordinator: rank id announcement
+  kConfig = 4,     // coordinator -> worker: simulation parameters
+  kStepBegin = 5,  // coordinator -> worker: step inputs + particle batch
+  kStepResult = 6, // worker -> coordinator: forces, timings, stats
+  kShutdown = 7,   // coordinator -> worker: exit cleanly
+};
+
+// Malformed/truncated/mismatched frame. Decoders throw this (and only this)
+// for any byte-level problem.
+class WireError : public std::runtime_error {
+ public:
+  explicit WireError(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Validate the header of `frame` (magic, version, payload length against the
+// buffer size) and return its type. Throws WireError on any mismatch.
+FrameType frame_type(std::span<const std::uint8_t> frame);
+
+// Serialization accounting: frames/bytes moved plus the seconds spent
+// encoding and decoding them, reported per step next to the compute stages.
+struct WireStats {
+  std::uint64_t frames = 0;
+  std::uint64_t bytes = 0;
+  double encode_seconds = 0.0;
+  double decode_seconds = 0.0;
+
+  WireStats& operator+=(const WireStats& o) {
+    frames += o.frames;
+    bytes += o.bytes;
+    encode_seconds += o.encode_seconds;
+    decode_seconds += o.decode_seconds;
+    return *this;
+  }
+};
+
+// Size record of one imported LET, feeding the step report's histogram.
+struct LetSizeSample {
+  std::uint64_t cells = 0;
+  std::uint64_t particles = 0;
+  std::uint64_t bytes = 0;
+};
+
+// One LET in flight from rank `src`, carrying the sender-side extraction cost
+// so the schedule model can reconstruct when the message could have arrived,
+// and (after decode) the encoded frame size for the LET size histogram.
+struct LetMessage {
+  int src = -1;
+  LetTree let;
+  double export_seconds = 0.0;
+  std::uint64_t wire_bytes = 0;
+};
+
+// --- LET frames --------------------------------------------------------------
+std::vector<std::uint8_t> encode_let(const LetMessage& msg);
+LetMessage decode_let(std::span<const std::uint8_t> frame);
+
+// --- Particle-migration batches ----------------------------------------------
+// A batch owns full particle state; forces/potential ride along only when
+// `with_forces` (the worker -> coordinator result direction). Migration
+// batches travel force-free — forces are recomputed every step.
+struct ParticleBatch {
+  int src = -1;
+  bool with_forces = false;
+  ParticleSet parts;
+};
+
+std::vector<std::uint8_t> encode_particles(int src, const ParticleSet& parts,
+                                           bool with_forces);
+ParticleBatch decode_particles(std::span<const std::uint8_t> frame);
+
+// --- Cluster control frames (coordinator <-> out-of-process workers) ---------
+std::vector<std::uint8_t> encode_hello(int rank);
+int decode_hello(std::span<const std::uint8_t> frame);
+
+std::vector<std::uint8_t> encode_config(const SimConfig& cfg);
+SimConfig decode_config(std::span<const std::uint8_t> frame);
+
+// Everything a worker needs to run one step: the global key-space bounds
+// (raw, pre-inflation, so KeySpace reconstructs bit-identically), the active
+// set, every rank's domain box, and the worker's particle batch.
+struct StepBegin {
+  int step = 0;
+  AABB bounds;
+  std::vector<std::uint8_t> active;
+  std::vector<AABB> boxes;
+  ParticleSet parts;
+};
+
+std::vector<std::uint8_t> encode_step_begin(const StepBegin& sb);
+StepBegin decode_step_begin(std::span<const std::uint8_t> frame);
+
+// A worker's step output: particle state with forces, per-stage timings,
+// interaction/LET statistics, and its serialization accounting.
+struct StepResult {
+  int rank = -1;
+  std::uint64_t let_cells = 0;
+  std::uint64_t let_particles = 0;
+  InteractionStats local_stats, remote_stats;
+  TimeBreakdown times;
+  std::vector<LetSizeSample> let_sizes;
+  WireStats let_wire;
+  ParticleSet parts;
+};
+
+std::vector<std::uint8_t> encode_step_result(const StepResult& sr);
+StepResult decode_step_result(std::span<const std::uint8_t> frame);
+
+std::vector<std::uint8_t> encode_shutdown();
+
+}  // namespace bonsai::domain::wire

@@ -1,9 +1,13 @@
 // bonsai_sim: multi-rank gravitational tree-code driver.
 //
-// Runs the full per-step pipeline of the paper on an in-process domain
-// decomposition (see src/domain/) and prints per-stage timing tables in the
-// style of Table II. `--validate` additionally checks the multi-rank forces
-// against a single-rank run and against direct summation.
+// Runs the full per-step pipeline of the paper on a domain decomposition
+// (see src/domain/) and prints per-stage timing tables in the style of
+// Table II. Ranks live either in-process (--transport inproc, the default)
+// or in separate worker processes connected over localhost TCP
+// (--transport socket); both speak the same serialized wire frames.
+// `--validate` additionally checks the multi-rank forces against a
+// single-rank run and against direct summation. Invoked with --rank-id and
+// --coordinator, the binary instead runs as one socket worker.
 #include <algorithm>
 #include <cmath>
 #include <fstream>
@@ -12,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "domain/cluster.hpp"
 #include "domain/simulation.hpp"
 #include "tree/direct.hpp"
 #include "util/cli.hpp"
@@ -23,25 +28,31 @@
 
 namespace {
 
-void print_usage() {
-  std::cout <<
-      "bonsai_sim — multi-rank Barnes-Hut gravity driver\n"
-      "  --n N          particles (default 16384)\n"
-      "  --ranks R      in-process ranks (default 4)\n"
-      "  --steps S      simulation steps (default 4)\n"
-      "  --dt DT        timestep; 0 = forces only (default 1e-3)\n"
-      "  --theta T      opening angle (default 0.4)\n"
-      "  --eps E        Plummer softening (default 1e-2)\n"
-      "  --nleaf L      leaf capacity (default 16)\n"
-      "  --ncrit C      target-group size (default 64)\n"
-      "  --curve NAME   hilbert | morton (default hilbert)\n"
-      "  --threads T    threads per rank (default: hardware/ranks)\n"
-      "  --seed S       RNG seed (default 42)\n"
-      "  --async        overlapped per-rank pipeline (default)\n"
-      "  --no-async     lockstep stage loop (the PR-1 schedule, for diffing)\n"
-      "  --balance M    count | cost (feedback on measured gravity time)\n"
-      "  --bench FILE   write per-step reports as JSON to FILE\n"
-      "  --validate     compare forces vs 1-rank run and direct summation\n";
+void register_flags(bonsai::CommandLine& cli) {
+  cli.add_switch("help", "print this listing and exit");
+  cli.add_option("n", "N", "particles (default 16384)");
+  cli.add_option("ranks", "R", "ranks (default 4)");
+  cli.add_option("steps", "S", "simulation steps (default 4)");
+  cli.add_option("dt", "DT", "timestep; 0 = forces only (default 1e-3)");
+  cli.add_option("theta", "T", "opening angle (default 0.4)");
+  cli.add_option("eps", "E", "Plummer softening (default 1e-2)");
+  cli.add_option("nleaf", "L", "leaf capacity (default 16)");
+  cli.add_option("ncrit", "C", "target-group size (default 64)");
+  cli.add_option("curve", "NAME", "hilbert | morton (default hilbert)");
+  cli.add_option("threads", "T", "threads per rank (default: hardware/ranks)");
+  cli.add_option("seed", "S", "RNG seed (default 42)");
+  cli.add_switch("async", "overlapped per-rank pipeline (default)");
+  cli.add_switch("no-async", "lockstep stage loop (the PR-1 schedule, for diffing)");
+  cli.add_option("balance", "M", "count | cost (feedback on measured gravity time)");
+  cli.add_option("bench", "FILE", "write per-step reports as JSON to FILE");
+  cli.add_switch("validate", "compare forces vs 1-rank run and direct summation");
+  cli.add_option("transport", "KIND",
+                 "inproc | socket: where ranks live (default inproc)");
+  cli.add_option("port", "P", "socket coordinator listen port (default: ephemeral)");
+  cli.add_switch("no-spawn",
+                 "socket coordinator: wait for externally launched workers");
+  cli.add_option("rank-id", "K", "worker mode: serve rank K for a coordinator");
+  cli.add_option("coordinator", "HOST:PORT", "worker mode: coordinator address");
 }
 
 // Write the --bench trajectory; returns false (with a message) on I/O error.
@@ -58,13 +69,12 @@ bool write_bench(const std::string& path,
   return true;
 }
 
-int run_validation(const bonsai::domain::SimConfig& cfg, const bonsai::ParticleSet& initial,
-                   const std::string& bench_path) {
+// One validated forces-only step of `multi` (in-process or cluster driver)
+// against a 1-rank run and direct summation.
+template <typename SimT>
+int run_validation(SimT& multi, const bonsai::domain::SimConfig& force_cfg,
+                   const bonsai::ParticleSet& initial, const std::string& bench_path) {
   using namespace bonsai;
-  domain::SimConfig force_cfg = cfg;
-  force_cfg.dt = 0.0;  // forces-only comparison
-
-  domain::Simulation multi(force_cfg);
   multi.init(initial);
   domain::StepReport rep = multi.step();
   print_step_report(rep, std::cout);
@@ -109,58 +119,135 @@ int run_validation(const bonsai::domain::SimConfig& cfg, const bonsai::ParticleS
   return ok ? 0 : 1;
 }
 
+// The plain step loop with per-step reports and energy diagnostics.
+template <typename SimT>
+int run_steps(SimT& sim, const bonsai::ParticleSet& initial, int steps,
+              const std::string& bench_path) {
+  sim.init(initial);
+  std::vector<bonsai::domain::StepReport> reports;
+  reports.reserve(static_cast<std::size_t>(std::max(steps, 0)));
+  for (int s = 0; s < steps; ++s) {
+    reports.push_back(sim.step());
+    print_step_report(reports.back(), std::cout);
+    const double ke = sim.kinetic_energy();
+    const double pe = sim.potential_energy();
+    std::cout << "energy: K=" << bonsai::TextTable::num(ke, 6)
+              << " W=" << bonsai::TextTable::num(pe, 6)
+              << " E=" << bonsai::TextTable::num(ke + pe, 6) << "\n\n";
+  }
+  return write_bench(bench_path, reports) ? 0 : 2;
+}
+
+// Worker mode: --transport socket --rank-id K --coordinator HOST:PORT.
+int run_worker_mode(const bonsai::CommandLine& cli) {
+  const std::string coord = cli.get("coordinator", "127.0.0.1:0");
+  const auto colon = coord.rfind(':');
+  if (colon == std::string::npos || colon + 1 == coord.size())
+    throw bonsai::CliError("--coordinator expects HOST:PORT, got '" + coord + "'");
+  const std::string host = coord.substr(0, colon);
+  const std::string port_str = coord.substr(colon + 1);
+  char* end = nullptr;
+  const long port_val = std::strtol(port_str.c_str(), &end, 10);
+  if (end == port_str.c_str() || *end != '\0' || port_val < 1 || port_val > 65535)
+    throw bonsai::CliError("--coordinator: bad port '" + port_str + "'");
+  const auto port = static_cast<std::uint16_t>(port_val);
+  const int rank_id = static_cast<int>(cli.get_int("rank-id", -1));
+  const auto threads = static_cast<std::size_t>(cli.get_int("threads", 0));
+  return bonsai::domain::run_worker(host, port, rank_id, threads);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  bonsai::CommandLine cli(argc, argv);
-  if (cli.has("help")) {
-    print_usage();
-    return 0;
-  }
-
-  bonsai::domain::SimConfig cfg;
-  const auto n = static_cast<std::size_t>(cli.get_int("n", 16384));
-  cfg.nranks = static_cast<int>(cli.get_int("ranks", 4));
-  cfg.theta = cli.get_double("theta", 0.4);
-  cfg.eps = cli.get_double("eps", 1e-2);
-  cfg.nleaf = static_cast<int>(cli.get_int("nleaf", bonsai::Octree::kDefaultNLeaf));
-  cfg.ncrit = static_cast<int>(cli.get_int("ncrit", 64));
-  cfg.dt = cli.get_double("dt", 1e-3);
-  cfg.threads_per_rank = static_cast<std::size_t>(cli.get_int("threads", 0));
-  cfg.curve = cli.get("curve", "hilbert") == "morton" ? bonsai::sfc::CurveType::kMorton
-                                                      : bonsai::sfc::CurveType::kHilbert;
-  cfg.async = cli.get_bool("async", true) && !cli.get_bool("no-async", false);
-  cfg.balance = cli.get("balance", "count") == "cost" ? bonsai::domain::BalanceMode::kCost
-                                                      : bonsai::domain::BalanceMode::kCount;
-  const std::string bench_path = cli.get("bench", "");
-  const auto steps = static_cast<int>(cli.get_int("steps", 4));
-  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
-
-  std::cout << "bonsai_sim: n=" << n << " ranks=" << cfg.nranks << " theta=" << cfg.theta
-            << " eps=" << cfg.eps << " dt=" << cfg.dt << " steps=" << steps
-            << (cfg.async ? " schedule=async" : " schedule=lockstep")
-            << (cfg.balance == bonsai::domain::BalanceMode::kCost ? " balance=cost" : "")
-            << "\n";
-
-  const bonsai::ParticleSet initial = bonsai::make_plummer(n, seed);
-
+  bonsai::CommandLine cli;
+  register_flags(cli);
   try {
-    if (cli.get_bool("validate", false)) return run_validation(cfg, initial, bench_path);
+    cli.parse(argc, argv);
 
-    bonsai::domain::Simulation sim(cfg);
-    sim.init(initial);
-    std::vector<bonsai::domain::StepReport> reports;
-    reports.reserve(static_cast<std::size_t>(std::max(steps, 0)));
-    for (int s = 0; s < steps; ++s) {
-      reports.push_back(sim.step());
-      print_step_report(reports.back(), std::cout);
-      const double ke = sim.kinetic_energy();
-      const double pe = sim.potential_energy();
-      std::cout << "energy: K=" << bonsai::TextTable::num(ke, 6)
-                << " W=" << bonsai::TextTable::num(pe, 6)
-                << " E=" << bonsai::TextTable::num(ke + pe, 6) << "\n\n";
+    if (cli.get_bool("help", false)) {
+      std::cout << cli.help("bonsai_sim", "multi-rank Barnes-Hut gravity driver");
+      return 0;
     }
-    if (!write_bench(bench_path, reports)) return 2;
+
+    const std::string transport = cli.get("transport", "inproc");
+    if (transport != "inproc" && transport != "socket")
+      throw bonsai::CliError("--transport: expected inproc or socket, got '" + transport +
+                             "'");
+    const bool socket_mode = transport == "socket";
+
+    if (cli.has("rank-id")) {
+      if (!socket_mode)
+        throw bonsai::CliError("--rank-id only applies to --transport socket workers");
+      return run_worker_mode(cli);
+    }
+
+    bonsai::domain::SimConfig cfg;
+    const auto n = static_cast<std::size_t>(cli.get_int("n", 16384));
+    cfg.nranks = static_cast<int>(cli.get_int("ranks", 4));
+    cfg.theta = cli.get_double("theta", 0.4);
+    cfg.eps = cli.get_double("eps", 1e-2);
+    cfg.nleaf = static_cast<int>(cli.get_int("nleaf", bonsai::Octree::kDefaultNLeaf));
+    cfg.ncrit = static_cast<int>(cli.get_int("ncrit", 64));
+    cfg.dt = cli.get_double("dt", 1e-3);
+    cfg.threads_per_rank = static_cast<std::size_t>(cli.get_int("threads", 0));
+    cfg.curve = cli.get("curve", "hilbert") == "morton" ? bonsai::sfc::CurveType::kMorton
+                                                        : bonsai::sfc::CurveType::kHilbert;
+    cfg.async = cli.get_bool("async", true) && !cli.get_bool("no-async", false);
+    cfg.balance = cli.get("balance", "count") == "cost" ? bonsai::domain::BalanceMode::kCost
+                                                        : bonsai::domain::BalanceMode::kCount;
+    const std::string bench_path = cli.get("bench", "");
+    const auto steps = static_cast<int>(cli.get_int("steps", 4));
+    const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+    const bool validate = cli.get_bool("validate", false);
+
+    std::cout << "bonsai_sim: n=" << n << " ranks=" << cfg.nranks << " theta=" << cfg.theta
+              << " eps=" << cfg.eps << " dt=" << cfg.dt << " steps=" << steps
+              << " transport=" << transport
+              << (cfg.async ? " schedule=async" : " schedule=lockstep")
+              << (cfg.balance == bonsai::domain::BalanceMode::kCost ? " balance=cost" : "")
+              << "\n";
+
+    const bonsai::ParticleSet initial = bonsai::make_plummer(n, seed);
+
+    if (socket_mode) {
+      if (!cfg.async)
+        throw bonsai::CliError(
+            "--no-async is in-process only: socket workers always run the "
+            "per-arrival async pipeline");
+      const std::int64_t port = cli.get_int("port", 0);
+      if (port < 0 || port > 65535)
+        throw bonsai::CliError("--port: expected 0-65535, got '" +
+                               std::to_string(port) + "'");
+      if (cli.get_bool("no-spawn", false) && port == 0)
+        throw bonsai::CliError(
+            "--no-spawn needs a fixed --port: external workers cannot learn "
+            "an ephemeral port (the coordinator blocks before printing it)");
+      bonsai::domain::ClusterConfig ccfg;
+      ccfg.sim = cfg;
+      if (validate) ccfg.sim.dt = 0.0;  // forces-only comparison
+      ccfg.port = static_cast<std::uint16_t>(port);
+      ccfg.spawn_workers = !cli.get_bool("no-spawn", false);
+      ccfg.program = argv[0];
+      ccfg.worker_threads = cfg.threads_per_rank;
+      bonsai::domain::ClusterSimulation sim(ccfg);
+      std::cout << "cluster: coordinator on 127.0.0.1:" << sim.port() << " driving "
+                << cfg.nranks << (ccfg.spawn_workers ? " spawned" : " external")
+                << " worker process(es)\n";
+      return validate ? run_validation(sim, ccfg.sim, initial, bench_path)
+                      : run_steps(sim, initial, steps, bench_path);
+    }
+
+    if (validate) {
+      bonsai::domain::SimConfig force_cfg = cfg;
+      force_cfg.dt = 0.0;
+      bonsai::domain::Simulation sim(force_cfg);
+      return run_validation(sim, force_cfg, initial, bench_path);
+    }
+    bonsai::domain::Simulation sim(cfg);
+    return run_steps(sim, initial, steps, bench_path);
+  } catch (const bonsai::CliError& e) {
+    std::cerr << "bonsai_sim: " << e.what() << "\n";
+    return 2;
   } catch (const std::exception& e) {
     std::cerr << "bonsai_sim: fatal: " << e.what() << "\n";
     return 2;

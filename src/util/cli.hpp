@@ -1,18 +1,51 @@
-// Minimal command-line flag parser for the examples and benchmark drivers.
-// Supports --name=value and --name value forms plus boolean switches.
+// Command-line flag parser with registered flags.
+//
+// Flags are declared up front — add_option() for value-taking flags,
+// add_switch() for booleans — and then parse() walks argv. Registration is
+// what lets the parser distinguish "--validate file.dat" (boolean switch
+// followed by a positional) from "--bench file.json" (option consuming a
+// value): switches never swallow the next token. Unknown flags, missing
+// values and malformed numbers raise CliError with a message naming the
+// offending flag instead of aborting through an uncaught std::stoll.
+// help() renders the registered flags as the --help listing.
 #pragma once
 
+#include <algorithm>
+#include <cerrno>
 #include <cstdint>
+#include <cstdlib>
 #include <map>
-#include <optional>
+#include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 namespace bonsai {
 
+// User error on the command line (unknown flag, malformed value, ...).
+class CliError : public std::runtime_error {
+ public:
+  explicit CliError(const std::string& what) : std::runtime_error(what) {}
+};
+
 class CommandLine {
  public:
-  CommandLine(int argc, const char* const* argv) {
+  CommandLine() = default;
+
+  // Register a value-taking flag: --name V or --name=V.
+  void add_option(const std::string& name, const std::string& value_name,
+                  const std::string& help) {
+    specs_.push_back({name, value_name, help, /*is_switch=*/false});
+  }
+
+  // Register a boolean switch: --name (or --name=false to negate).
+  void add_switch(const std::string& name, const std::string& help) {
+    specs_.push_back({name, "", help, /*is_switch=*/true});
+  }
+
+  // Parse argv against the registered flags. Throws CliError on an unknown
+  // flag or a registered option with no value.
+  void parse(int argc, const char* const* argv) {
     for (int i = 1; i < argc; ++i) {
       std::string arg = argv[i];
       if (arg.rfind("--", 0) != 0) {
@@ -20,14 +53,25 @@ class CommandLine {
         continue;
       }
       arg.erase(0, 2);
+      std::string value;
+      bool have_value = false;
       const auto eq = arg.find('=');
       if (eq != std::string::npos) {
-        flags_[arg.substr(0, eq)] = arg.substr(eq + 1);
-      } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-        flags_[arg] = argv[++i];
-      } else {
-        flags_[arg] = "true";
+        value = arg.substr(eq + 1);
+        arg.erase(eq);
+        have_value = true;
       }
+      const Spec* spec = find(arg);
+      if (!spec) throw CliError("unknown flag --" + arg + " (see --help)");
+      if (!spec->is_switch && !have_value) {
+        if (i + 1 >= argc || std::string(argv[i + 1]).rfind("--", 0) == 0)
+          throw CliError("--" + arg + " expects a " +
+                         (spec->value_name.empty() ? "value" : spec->value_name) +
+                         " argument");
+        value = argv[++i];
+        have_value = true;
+      }
+      flags_[arg] = have_value ? value : "true";
     }
   }
 
@@ -40,23 +84,66 @@ class CommandLine {
 
   std::int64_t get_int(const std::string& name, std::int64_t fallback) const {
     auto it = flags_.find(name);
-    return it == flags_.end() ? fallback : std::stoll(it->second);
+    if (it == flags_.end()) return fallback;
+    errno = 0;
+    char* end = nullptr;
+    const long long v = std::strtoll(it->second.c_str(), &end, 10);
+    if (errno != 0 || end == it->second.c_str() || *end != '\0')
+      throw CliError("--" + name + ": expected an integer, got '" + it->second + "'");
+    return v;
   }
 
   double get_double(const std::string& name, double fallback) const {
     auto it = flags_.find(name);
-    return it == flags_.end() ? fallback : std::stod(it->second);
+    if (it == flags_.end()) return fallback;
+    errno = 0;
+    char* end = nullptr;
+    const double v = std::strtod(it->second.c_str(), &end);
+    if (errno != 0 || end == it->second.c_str() || *end != '\0')
+      throw CliError("--" + name + ": expected a number, got '" + it->second + "'");
+    return v;
   }
 
   bool get_bool(const std::string& name, bool fallback) const {
     auto it = flags_.find(name);
     if (it == flags_.end()) return fallback;
-    return it->second == "true" || it->second == "1" || it->second == "yes";
+    if (it->second == "true" || it->second == "1" || it->second == "yes") return true;
+    if (it->second == "false" || it->second == "0" || it->second == "no") return false;
+    throw CliError("--" + name + ": expected a boolean, got '" + it->second + "'");
   }
 
   const std::vector<std::string>& positional() const { return positional_; }
 
+  // The --help listing generated from the registered flags.
+  std::string help(const std::string& program, const std::string& intro) const {
+    std::ostringstream os;
+    os << program << " — " << intro << "\n";
+    std::size_t width = 0;
+    for (const Spec& s : specs_) width = std::max(width, left_column(s).size());
+    for (const Spec& s : specs_) {
+      const std::string left = left_column(s);
+      os << "  " << left << std::string(width - left.size() + 2, ' ') << s.help << "\n";
+    }
+    return os.str();
+  }
+
  private:
+  struct Spec {
+    std::string name, value_name, help;
+    bool is_switch;
+  };
+
+  static std::string left_column(const Spec& s) {
+    return "--" + s.name + (s.is_switch ? "" : " " + s.value_name);
+  }
+
+  const Spec* find(const std::string& name) const {
+    for (const Spec& s : specs_)
+      if (s.name == name) return &s;
+    return nullptr;
+  }
+
+  std::vector<Spec> specs_;
   std::map<std::string, std::string> flags_;
   std::vector<std::string> positional_;
 };

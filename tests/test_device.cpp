@@ -12,6 +12,7 @@
 #include "domain/channel.hpp"
 #include "domain/executor.hpp"
 #include "domain/simulation.hpp"
+#include "domain/transport.hpp"
 
 namespace bonsai {
 namespace {
@@ -110,7 +111,8 @@ TEST(Channel, RecvBlocksUntilSend) {
 }
 
 TEST(LetExchange, RemainingCountsFollowActiveMask) {
-  domain::LetExchange net({1, 0, 1, 1});  // rank 1 is empty
+  domain::InProcTransport transport(4);
+  domain::LetExchange net(transport, {1, 0, 1, 1});  // rank 1 is empty
   EXPECT_EQ(net.remaining(0), 2u);
   EXPECT_EQ(net.remaining(1), 0u);
   EXPECT_EQ(net.remaining(2), 2u);
@@ -125,17 +127,32 @@ TEST(LetExchange, RemainingCountsFollowActiveMask) {
 }
 
 TEST(LetExchange, NoActiveRanksExpectsNothing) {
-  domain::LetExchange net({0, 0});
+  domain::InProcTransport transport(2);
+  domain::LetExchange net(transport, {0, 0});
   EXPECT_EQ(net.remaining(0), 0u);
   EXPECT_FALSE(net.recv(0).has_value());
 }
 
 TEST(LetExchange, CloseBeforeAllArrivalsFailsFast) {
-  domain::LetExchange net({1, 1, 1});
+  domain::InProcTransport transport(3);
+  domain::LetExchange net(transport, {1, 1, 1});
   net.post(1, 0, {}, 0.0);
   net.close(0);  // one of rank 0's two expected LETs will never come
   EXPECT_EQ(net.recv(0).value().src, 1);  // pending messages still drain
   EXPECT_THROW(net.recv(0), std::logic_error);  // then throw, never block
+}
+
+TEST(LetExchange, AccountsWireBytesAndFrames) {
+  domain::InProcTransport transport(2);
+  domain::LetExchange net(transport, {1, 1});
+  const std::size_t bytes = net.post(0, 1, {}, 0.0);
+  EXPECT_GT(bytes, 0u);  // even an empty LET carries a frame header
+  EXPECT_EQ(net.encode_stats(0).frames, 1u);
+  EXPECT_EQ(net.encode_stats(0).bytes, bytes);
+  const auto msg = net.recv(1);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->wire_bytes, bytes);
+  EXPECT_GE(net.decode_stats(1).decode_seconds, 0.0);
 }
 
 TEST(ThreadsFor, DefaultPartitionsHostAcrossRanks) {

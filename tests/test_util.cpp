@@ -188,11 +188,21 @@ TEST(TextTable, AlignsColumnsAndPrintsHeaderRule) {
   EXPECT_NE(out.find("---"), std::string::npos);
 }
 
+CommandLine make_cli() {
+  CommandLine cli;
+  cli.add_option("n", "N", "particle count");
+  cli.add_option("theta", "T", "opening angle");
+  cli.add_switch("verbose", "chatty output");
+  cli.add_switch("validate", "check forces");
+  cli.add_option("missing", "X", "never passed");
+  cli.add_switch("quiet", "never passed");
+  return cli;
+}
+
 TEST(CommandLine, ParsesFlagsAndPositionals) {
-  // Note the parser semantics: "--name value" consumes the next token, so
-  // bare boolean switches must use "--flag=true" form or come last.
   const char* argv[] = {"prog", "--n=100", "--theta", "0.4", "input.dat", "--verbose"};
-  CommandLine cli(6, argv);
+  CommandLine cli = make_cli();
+  cli.parse(6, argv);
   EXPECT_EQ(cli.get_int("n", 0), 100);
   EXPECT_DOUBLE_EQ(cli.get_double("theta", 0.7), 0.4);
   EXPECT_TRUE(cli.get_bool("verbose", false));
@@ -200,6 +210,50 @@ TEST(CommandLine, ParsesFlagsAndPositionals) {
   EXPECT_EQ(cli.get("missing", "dflt"), "dflt");
   ASSERT_EQ(cli.positional().size(), 1u);
   EXPECT_EQ(cli.positional()[0], "input.dat");
+}
+
+TEST(CommandLine, RegisteredSwitchDoesNotSwallowPositional) {
+  // The historical parser consumed "file.dat" as the value of --validate;
+  // registration makes boolean switches value-free.
+  const char* argv[] = {"prog", "--validate", "file.dat", "--n", "32"};
+  CommandLine cli = make_cli();
+  cli.parse(5, argv);
+  EXPECT_TRUE(cli.get_bool("validate", false));
+  EXPECT_EQ(cli.get_int("n", 0), 32);
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "file.dat");
+}
+
+TEST(CommandLine, UnknownFlagAndMalformedValuesRaiseCliError) {
+  CommandLine cli = make_cli();
+  const char* unknown[] = {"prog", "--frobnicate"};
+  EXPECT_THROW(cli.parse(2, unknown), CliError);
+
+  CommandLine cli2 = make_cli();
+  const char* bad_int[] = {"prog", "--n=abc", "--theta=x1", "--verbose=maybe"};
+  cli2.parse(4, bad_int);  // parse accepts the strings...
+  EXPECT_THROW(cli2.get_int("n", 0), CliError);  // ...typed access validates
+  EXPECT_THROW(cli2.get_double("theta", 0.0), CliError);
+  EXPECT_THROW(cli2.get_bool("verbose", false), CliError);
+}
+
+TEST(CommandLine, MissingValueAndNegatedSwitch) {
+  CommandLine cli = make_cli();
+  const char* missing[] = {"prog", "--n"};
+  EXPECT_THROW(cli.parse(2, missing), CliError);
+
+  CommandLine cli2 = make_cli();
+  const char* neg[] = {"prog", "--verbose=false"};
+  cli2.parse(2, neg);
+  EXPECT_FALSE(cli2.get_bool("verbose", true));
+}
+
+TEST(CommandLine, HelpListsRegisteredFlags) {
+  const CommandLine cli = make_cli();
+  const std::string help = cli.help("prog", "test driver");
+  EXPECT_NE(help.find("--n N"), std::string::npos);
+  EXPECT_NE(help.find("--verbose"), std::string::npos);
+  EXPECT_NE(help.find("chatty output"), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,324 @@
+// Wire-format round-trips and hard rejection of malformed frames, plus the
+// transport backends the frames travel through. Decoders must throw
+// WireError on any truncated/corrupted/mismatched buffer — and must never
+// read out of bounds or hand the traversal a malformed tree.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "domain/channel.hpp"
+#include "domain/decomposition.hpp"
+#include "domain/let.hpp"
+#include "domain/transport.hpp"
+#include "domain/wire.hpp"
+#include "util/ic.hpp"
+
+namespace bonsai {
+namespace {
+
+using domain::LetTree;
+namespace wire = domain::wire;
+
+// A LET with real structure: built from a Plummer tree against a displaced
+// remote box, so it mixes internal nodes, multipole leaves and particle
+// leaves.
+LetTree make_real_let() {
+  ParticleSet parts = make_plummer(512, 7);
+  const sfc::KeySpace space(parts.bounds());
+  sort_by_keys(parts, space);
+  Octree tree;
+  tree.build(parts);
+  tree.compute_properties(parts, 0.5);
+  const AABB remote{{4.0, 4.0, 4.0}, {6.0, 6.0, 6.0}};
+  return domain::build_let(tree.view(parts), remote);
+}
+
+void expect_same_let(const LetTree& a, const LetTree& b) {
+  ASSERT_EQ(a.nodes.size(), b.nodes.size());
+  ASSERT_EQ(a.x, b.x);  // bit-for-bit doubles
+  ASSERT_EQ(a.y, b.y);
+  ASSERT_EQ(a.z, b.z);
+  ASSERT_EQ(a.m, b.m);
+  for (std::size_t i = 0; i < a.nodes.size(); ++i) {
+    const TreeNode& n1 = a.nodes[i];
+    const TreeNode& n2 = b.nodes[i];
+    EXPECT_EQ(n1.key_begin, n2.key_begin);
+    EXPECT_EQ(n1.key_end, n2.key_end);
+    EXPECT_EQ(n1.part_begin, n2.part_begin);
+    EXPECT_EQ(n1.part_end, n2.part_end);
+    EXPECT_EQ(n1.first_child, n2.first_child);
+    EXPECT_EQ(n1.num_children, n2.num_children);
+    EXPECT_EQ(n1.level, n2.level);
+    EXPECT_EQ(n1.kind, n2.kind);
+    EXPECT_EQ(n1.mp.mass, n2.mp.mass);
+    EXPECT_EQ(n1.mp.com.x, n2.mp.com.x);
+    EXPECT_EQ(n1.mp.quad.q, n2.mp.quad.q);
+    EXPECT_EQ(n1.rcrit, n2.rcrit);
+    EXPECT_EQ(n1.box.lo.x, n2.box.lo.x);
+    EXPECT_EQ(n1.box.hi.z, n2.box.hi.z);
+  }
+}
+
+TEST(Wire, EmptyLetRoundTrip) {
+  const std::vector<std::uint8_t> frame = wire::encode_let({3, LetTree{}, 0.25, 0});
+  EXPECT_EQ(wire::frame_type(frame), wire::FrameType::kLet);
+  const wire::LetMessage msg = wire::decode_let(frame);
+  EXPECT_EQ(msg.src, 3);
+  EXPECT_DOUBLE_EQ(msg.export_seconds, 0.25);
+  EXPECT_EQ(msg.wire_bytes, frame.size());
+  EXPECT_TRUE(msg.let.empty());
+  EXPECT_EQ(msg.let.num_cells(), 0u);
+}
+
+TEST(Wire, SingleMultipoleLeafLetRoundTrip) {
+  LetTree let;
+  TreeNode nd;
+  nd.kind = NodeKind::kMultipoleLeaf;
+  nd.key_begin = 0;
+  nd.key_end = sfc::kKeyEnd;
+  nd.mp.mass = 2.5;
+  nd.mp.com = {0.5, -0.25, 1.0 / 3.0};
+  nd.mp.quad.q = {1, 2, 3, 4, 5, 6};
+  nd.rcrit = 0.75;
+  nd.box = {{-1, -1, -1}, {1, 1, 1}};
+  let.nodes.push_back(nd);
+
+  const wire::LetMessage msg = wire::decode_let(wire::encode_let({0, let, 0.0, 0}));
+  EXPECT_FALSE(msg.let.empty());  // a bare multipole leaf still exerts force
+  expect_same_let(let, msg.let);
+}
+
+TEST(Wire, RealLetRoundTripsBitForBit) {
+  const LetTree let = make_real_let();
+  ASSERT_GT(let.num_cells(), 1u);
+  ASSERT_GT(let.num_particles(), 0u);
+  const wire::LetMessage msg = wire::decode_let(wire::encode_let({1, let, 1e-4, 0}));
+  expect_same_let(let, msg.let);
+}
+
+TEST(Wire, ZeroParticleBatchRoundTrip) {
+  const std::vector<std::uint8_t> frame =
+      wire::encode_particles(5, ParticleSet{}, /*with_forces=*/false);
+  EXPECT_EQ(wire::frame_type(frame), wire::FrameType::kParticles);
+  const wire::ParticleBatch batch = wire::decode_particles(frame);
+  EXPECT_EQ(batch.src, 5);
+  EXPECT_FALSE(batch.with_forces);
+  EXPECT_EQ(batch.parts.size(), 0u);
+}
+
+TEST(Wire, ParticleBatchRoundTripsBitForBitWithForces) {
+  ParticleSet parts = make_plummer(100, 11);
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    parts.ax[i] = 0.1 * static_cast<double>(i);
+    parts.pot[i] = -1.0 / (1.0 + static_cast<double>(i));
+    parts.key[i] = 77 * i;
+  }
+  const wire::ParticleBatch batch =
+      wire::decode_particles(wire::encode_particles(2, parts, /*with_forces=*/true));
+  EXPECT_TRUE(batch.with_forces);
+  EXPECT_EQ(batch.parts.x, parts.x);
+  EXPECT_EQ(batch.parts.vz, parts.vz);
+  EXPECT_EQ(batch.parts.mass, parts.mass);
+  EXPECT_EQ(batch.parts.id, parts.id);
+  EXPECT_EQ(batch.parts.key, parts.key);
+  EXPECT_EQ(batch.parts.ax, parts.ax);
+  EXPECT_EQ(batch.parts.pot, parts.pot);
+}
+
+TEST(Wire, ForceFreeBatchDecodesWithZeroForces) {
+  ParticleSet parts = make_plummer(16, 3);
+  for (std::size_t i = 0; i < parts.size(); ++i) parts.ax[i] = 9.0;  // must not travel
+  const wire::ParticleBatch batch =
+      wire::decode_particles(wire::encode_particles(0, parts, /*with_forces=*/false));
+  for (std::size_t i = 0; i < batch.parts.size(); ++i) {
+    EXPECT_EQ(batch.parts.ax[i], 0.0);
+    EXPECT_EQ(batch.parts.pot[i], 0.0);
+  }
+}
+
+TEST(Wire, TruncatedFramesThrowAtEveryLength) {
+  const std::vector<std::uint8_t> frame = wire::encode_let({0, make_real_let(), 0.0, 0});
+  for (std::size_t len = 0; len < frame.size(); len += 13) {
+    const std::vector<std::uint8_t> cut(frame.begin(),
+                                        frame.begin() + static_cast<std::ptrdiff_t>(len));
+    EXPECT_THROW(wire::decode_let(cut), wire::WireError) << "length " << len;
+  }
+}
+
+TEST(Wire, HeaderCorruptionIsRejected) {
+  std::vector<std::uint8_t> frame = wire::encode_let({0, LetTree{}, 0.0, 0});
+
+  std::vector<std::uint8_t> bad = frame;
+  bad[0] ^= 0xFF;  // magic
+  EXPECT_THROW(wire::frame_type(bad), wire::WireError);
+
+  bad = frame;
+  bad[4] += 1;  // version
+  EXPECT_THROW(wire::decode_let(bad), wire::WireError);
+
+  bad = frame;
+  bad[8] += 1;  // payload length no longer matches the buffer
+  EXPECT_THROW(wire::decode_let(bad), wire::WireError);
+
+  // Wrong frame type for the decoder.
+  EXPECT_THROW(wire::decode_particles(frame), wire::WireError);
+}
+
+TEST(Wire, EveryByteFlipEitherDecodesOrThrowsWireError) {
+  // Exhaustive single-byte corruption: decode must never crash, hang or read
+  // out of bounds — it either throws WireError or yields a structurally
+  // valid LET (flips in coordinate payloads are indistinguishable from
+  // data).
+  const std::vector<std::uint8_t> frame = wire::encode_let({0, make_real_let(), 0.0, 0});
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    std::vector<std::uint8_t> bad = frame;
+    bad[i] ^= 0xA5;
+    try {
+      const wire::LetMessage msg = wire::decode_let(bad);
+      // Decoded trees must uphold the traversal-safety invariants.
+      for (std::size_t j = 0; j < msg.let.nodes.size(); ++j) {
+        const TreeNode& nd = msg.let.nodes[j];
+        ASSERT_LE(nd.part_end, msg.let.num_particles());
+        if (nd.kind == NodeKind::kInternal) {
+          ASSERT_GT(nd.first_child, static_cast<std::int32_t>(j));
+          ASSERT_LE(static_cast<std::size_t>(nd.first_child) + nd.num_children,
+                    msg.let.nodes.size());
+        }
+      }
+    } catch (const wire::WireError&) {
+      // Rejected: fine.
+    }
+  }
+}
+
+TEST(Wire, ControlFramesRoundTrip) {
+  EXPECT_EQ(wire::decode_hello(wire::encode_hello(9)), 9);
+  EXPECT_EQ(wire::frame_type(wire::encode_shutdown()), wire::FrameType::kShutdown);
+
+  domain::SimConfig cfg;
+  cfg.nranks = 6;
+  cfg.theta = 0.3;
+  cfg.eps = 0.05;
+  cfg.nleaf = 24;
+  cfg.ncrit = 96;
+  cfg.quadrupole = false;
+  cfg.dt = 0.5e-3;
+  cfg.curve = sfc::CurveType::kMorton;
+  const domain::SimConfig back = wire::decode_config(wire::encode_config(cfg));
+  EXPECT_EQ(back.nranks, 6);
+  EXPECT_DOUBLE_EQ(back.theta, 0.3);
+  EXPECT_DOUBLE_EQ(back.eps, 0.05);
+  EXPECT_EQ(back.nleaf, 24);
+  EXPECT_EQ(back.ncrit, 96);
+  EXPECT_FALSE(back.quadrupole);
+  EXPECT_DOUBLE_EQ(back.dt, 0.5e-3);
+  EXPECT_EQ(back.curve, sfc::CurveType::kMorton);
+}
+
+TEST(Wire, StepBeginAndResultRoundTrip) {
+  wire::StepBegin sb;
+  sb.step = 4;
+  sb.bounds = {{-2, -2, -2}, {2, 2, 2}};
+  sb.active = {1, 0, 1};
+  sb.boxes.resize(3);
+  sb.boxes[0] = {{-1, -1, -1}, {0, 0, 0}};
+  sb.boxes[2] = {{0, 0, 0}, {1, 1, 1}};
+  sb.parts = make_plummer(32, 5);
+  const wire::StepBegin back = wire::decode_step_begin(wire::encode_step_begin(sb));
+  EXPECT_EQ(back.step, 4);
+  EXPECT_EQ(back.active, sb.active);
+  EXPECT_EQ(back.parts.x, sb.parts.x);
+  EXPECT_EQ(back.boxes[2].hi.x, 1.0);
+  EXPECT_FALSE(back.boxes[1].valid());  // inactive rank's default box survives
+
+  wire::StepResult sr;
+  sr.rank = 2;
+  sr.let_cells = 100;
+  sr.let_particles = 50;
+  sr.local_stats = {10, 20};
+  sr.remote_stats = {30, 40};
+  sr.times.add("Gravity local", 0.5);
+  sr.times.add("Sorting SFC", 0.125);
+  sr.let_sizes.push_back({7, 8, 9});
+  sr.let_wire = {3, 4096, 0.25, 0.125};
+  sr.parts = make_plummer(8, 1);
+  const wire::StepResult rback = wire::decode_step_result(wire::encode_step_result(sr));
+  EXPECT_EQ(rback.rank, 2);
+  EXPECT_EQ(rback.let_cells, 100u);
+  EXPECT_EQ(rback.local_stats.p2p, 10u);
+  EXPECT_EQ(rback.remote_stats.p2c, 40u);
+  EXPECT_DOUBLE_EQ(rback.times.get("Gravity local"), 0.5);
+  EXPECT_EQ(rback.times.entries()[1].name, "Sorting SFC");
+  ASSERT_EQ(rback.let_sizes.size(), 1u);
+  EXPECT_EQ(rback.let_sizes[0].bytes, 9u);
+  EXPECT_EQ(rback.let_wire.bytes, 4096u);
+  EXPECT_EQ(rback.parts.y, sr.parts.y);
+}
+
+TEST(InProcTransport, FifoPerDestinationAndClose) {
+  domain::InProcTransport t(2);
+  t.post(0, 1, {1, 2, 3});
+  t.post(0, 1, {4});
+  EXPECT_EQ(t.recv(1).value(), (std::vector<std::uint8_t>{1, 2, 3}));
+  EXPECT_EQ(t.recv(1).value(), (std::vector<std::uint8_t>{4}));
+  t.close(1);
+  EXPECT_FALSE(t.recv(1).has_value());
+}
+
+TEST(SocketTransport, RoutesWorkerToWorkerThroughCoordinator) {
+  auto coord = domain::SocketTransport::listen(0, 2);
+  ASSERT_GT(coord->port(), 0);
+
+  std::unique_ptr<domain::SocketTransport> w0, w1;
+  std::thread t0([&] { w0 = domain::SocketTransport::connect("127.0.0.1", coord->port(), 0); });
+  std::thread t1([&] { w1 = domain::SocketTransport::connect("127.0.0.1", coord->port(), 1); });
+  coord->accept_workers();
+  t0.join();
+  t1.join();
+
+  // Worker -> worker (routed), worker -> coordinator, coordinator -> worker.
+  w0->post(0, 1, wire::encode_hello(42));
+  auto routed = w1->recv(1);
+  ASSERT_TRUE(routed.has_value());
+  EXPECT_EQ(wire::decode_hello(*routed), 42);
+
+  w1->post(1, domain::kCoordinatorRank, wire::encode_hello(7));
+  auto up = coord->recv(domain::kCoordinatorRank);
+  ASSERT_TRUE(up.has_value());
+  EXPECT_EQ(wire::decode_hello(*up), 7);
+
+  coord->post(domain::kCoordinatorRank, 0, wire::encode_shutdown());
+  auto down = w0->recv(0);
+  ASSERT_TRUE(down.has_value());
+  EXPECT_EQ(wire::frame_type(*down), wire::FrameType::kShutdown);
+
+  // Coordinator teardown closes the workers' endpoints: recv fails fast.
+  coord.reset();
+  EXPECT_FALSE(w0->recv(0).has_value());
+  EXPECT_FALSE(w1->recv(1).has_value());
+}
+
+TEST(ExchangeOverTransport, AccountsWireTraffic) {
+  std::vector<ParticleSet> sets(2);
+  sets[0] = make_plummer(256, 21);  // everything starts on rank 0
+  const sfc::KeySpace space(sets[0].bounds());
+  const domain::Decomposition decomp = domain::Decomposition::uniform(2);
+
+  domain::InProcTransport transport(2);
+  wire::WireStats ws;
+  const domain::ExchangeStats ex =
+      domain::exchange(sets, space, decomp, transport, &ws);
+  EXPECT_EQ(ex.total, 256u);
+  EXPECT_EQ(sets[0].size() + sets[1].size(), 256u);
+  EXPECT_EQ(ws.frames, 2u);  // one batch each way, even if one is empty
+  EXPECT_GT(ws.bytes, 0u);
+  // Migrated particles and only migrated particles travel on the wire.
+  const std::size_t header_free =
+      ws.bytes - 2 * (wire::kHeaderBytes + 13);  // 13 = src + flags + count
+  EXPECT_EQ(header_free, ex.migrated * 72);  // 9 arrays x 8 bytes each
+}
+
+}  // namespace
+}  // namespace bonsai
