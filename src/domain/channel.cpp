@@ -60,4 +60,52 @@ const wire::WireStats& LetExchange::decode_stats(int r) const {
   return decode_[static_cast<std::size_t>(r)];
 }
 
+MigrationExchange::MigrationExchange(Transport& transport, int nranks)
+    : transport_(transport) {
+  BONSAI_CHECK(nranks >= 1);
+  remaining_.assign(static_cast<std::size_t>(nranks),
+                    static_cast<std::size_t>(nranks - 1));
+  encode_.resize(static_cast<std::size_t>(nranks));
+  decode_.resize(static_cast<std::size_t>(nranks));
+}
+
+std::size_t MigrationExchange::remaining(int dst) const {
+  return remaining_[static_cast<std::size_t>(dst)];
+}
+
+std::size_t MigrationExchange::post(int src, int dst, const ParticleSet& parts, int step) {
+  BONSAI_CHECK(src != dst);
+  WallTimer timer;
+  std::vector<std::uint8_t> frame = wire::encode_migration(src, step, parts);
+  const std::size_t bytes = frame.size();
+  wire::WireStats& ws = encode_[static_cast<std::size_t>(src)];
+  ws.frames += 1;
+  ws.bytes += bytes;
+  ws.encode_seconds += timer.elapsed();
+  transport_.post(src, dst, std::move(frame));
+  return bytes;
+}
+
+std::optional<wire::MigrationMsg> MigrationExchange::recv(int dst, int step) {
+  std::size_t& remaining = remaining_[static_cast<std::size_t>(dst)];
+  if (remaining == 0) return std::nullopt;
+  std::optional<std::vector<std::uint8_t>> frame = transport_.recv(dst);
+  BONSAI_CHECK_MSG(frame.has_value(),
+                   "migration endpoint closed before all expected batches");
+  WallTimer timer;
+  wire::MigrationMsg msg = wire::decode_migration(*frame);
+  decode_[static_cast<std::size_t>(dst)].decode_seconds += timer.elapsed();
+  BONSAI_CHECK_MSG(msg.step == step, "migration batch from a different step");
+  --remaining;
+  return msg;
+}
+
+const wire::WireStats& MigrationExchange::encode_stats(int r) const {
+  return encode_[static_cast<std::size_t>(r)];
+}
+
+const wire::WireStats& MigrationExchange::decode_stats(int r) const {
+  return decode_[static_cast<std::size_t>(r)];
+}
+
 }  // namespace bonsai::domain

@@ -133,4 +133,41 @@ class LetExchange {
   std::vector<wire::WireStats> decode_;  // per-dst
 };
 
+// The particle alltoallv of one SPMD step over a Transport — the LET mailbox
+// pattern applied to migration frames. Every rank posts exactly one
+// Migration frame (its owner-changing particles, possibly none) to every
+// other rank and expects nranks-1 arrivals, so recv() stops a receiver after
+// its last expected batch without a close handshake. Unlike LETs, migration
+// has no active set: empty ranks can gain particles, so all ranks
+// participate every step.
+class MigrationExchange {
+ public:
+  MigrationExchange(Transport& transport, int nranks);
+
+  int num_ranks() const { return static_cast<int>(remaining_.size()); }
+
+  // Batches dst still has to receive; starts at nranks - 1.
+  std::size_t remaining(int dst) const;
+
+  // Nonblocking post of src's emigrants bound for dst: encodes the frame,
+  // hands the bytes to the transport, accounts the encode under src. Returns
+  // the encoded frame size.
+  std::size_t post(int src, int dst, const ParticleSet& parts, int step);
+
+  // Blocking receive of dst's next inbound batch, in arrival order; nullopt
+  // once every expected batch arrived. Throws if the endpoint closes early
+  // (fail fast, never hang) or a frame belongs to a different step.
+  std::optional<wire::MigrationMsg> recv(int dst, int step);
+
+  // Serialization accounting, mirroring LetExchange.
+  const wire::WireStats& encode_stats(int r) const;
+  const wire::WireStats& decode_stats(int r) const;
+
+ private:
+  Transport& transport_;
+  std::vector<std::size_t> remaining_;
+  std::vector<wire::WireStats> encode_;
+  std::vector<wire::WireStats> decode_;
+};
+
 }  // namespace bonsai::domain

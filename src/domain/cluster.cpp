@@ -4,6 +4,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <array>
 #include <deque>
 #include <numeric>
 #include <stdexcept>
@@ -17,36 +18,99 @@ namespace bonsai::domain {
 
 namespace {
 
-// Transport decorator consulting an early-arrival stash before the socket:
-// a peer's LET for step S can reach a worker before its own StepBegin frame
-// (the coordinator's broadcast and the routed LETs race on different
-// sockets), so the worker's control loop stashes LET frames it is not yet
-// ready for and LetExchange drains the stash first.
-class StashTransport final : public Transport {
+// Demultiplexes a worker's single socket inbox by frame class. Control
+// frames from the coordinator, LETs, SPMD domain frames and migration
+// batches all race on the one connection (peers advance at their own pace
+// inside a step, and a fast peer's next-step frames can arrive before this
+// worker's own StepBegin), so each protocol phase pulls from its own queue
+// and frames it is not yet ready for wait in theirs — the generalization of
+// PR 3's LET stash. Single-consumer: only the worker's driver thread calls
+// recv(). Once the underlying endpoint closes, queued frames stay
+// receivable, then recv() returns nullopt (fail fast, never hang).
+class FrameDemux {
  public:
-  explicit StashTransport(Transport& inner) : inner_(inner) {}
+  enum class Class : std::size_t {
+    kControl = 0,  // StepBegin / Shutdown / Config
+    kLet,
+    kBoundaries,
+    kKeySamples,
+    kMigration,
+  };
+  static constexpr std::size_t kNumClasses = 5;
 
-  void push(std::vector<std::uint8_t> frame) { stash_.push_back(std::move(frame)); }
+  FrameDemux(Transport& inner, int rank) : inner_(inner), rank_(rank) {}
+
+  std::optional<std::vector<std::uint8_t>> recv(Class cls) {
+    auto& queue = queues_[static_cast<std::size_t>(cls)];
+    while (queue.empty()) {
+      if (closed_) return std::nullopt;
+      std::optional<std::vector<std::uint8_t>> frame = inner_.recv(rank_);
+      if (!frame) {
+        closed_ = true;
+        return std::nullopt;
+      }
+      const Class got = classify(wire::frame_type(*frame));
+      queues_[static_cast<std::size_t>(got)].push_back(std::move(*frame));
+    }
+    std::vector<std::uint8_t> out = std::move(queue.front());
+    queue.pop_front();
+    return out;
+  }
+
+ private:
+  static Class classify(wire::FrameType type) {
+    switch (type) {
+      case wire::FrameType::kLet: return Class::kLet;
+      case wire::FrameType::kBoundaries: return Class::kBoundaries;
+      case wire::FrameType::kKeySamples: return Class::kKeySamples;
+      case wire::FrameType::kMigration: return Class::kMigration;
+      default: return Class::kControl;
+    }
+  }
+
+  Transport& inner_;
+  int rank_;
+  std::array<std::deque<std::vector<std::uint8_t>>, kNumClasses> queues_;
+  bool closed_ = false;
+};
+
+// Transport view handing one demux class to a protocol written against the
+// plain Transport interface (LetExchange, MigrationExchange): post() goes
+// out through the recorded socket, recv() pulls only this class's frames.
+class DemuxTransport final : public Transport {
+ public:
+  DemuxTransport(FrameDemux& demux, Transport& out, FrameDemux::Class cls)
+      : demux_(demux), out_(out), cls_(cls) {}
 
   void post(int src, int dst, std::vector<std::uint8_t> frame) override {
-    inner_.post(src, dst, std::move(frame));
+    out_.post(src, dst, std::move(frame));
   }
 
   std::optional<std::vector<std::uint8_t>> recv(int dst) override {
-    if (!stash_.empty()) {
-      std::vector<std::uint8_t> out = std::move(stash_.front());
-      stash_.pop_front();
-      return out;
-    }
-    return inner_.recv(dst);
+    (void)dst;
+    return demux_.recv(cls_);
   }
 
-  void close(int dst) override { inner_.close(dst); }
+  void close(int dst) override { out_.close(dst); }
 
  private:
-  Transport& inner_;
-  std::deque<std::vector<std::uint8_t>> stash_;
+  FrameDemux& demux_;
+  Transport& out_;
+  FrameDemux::Class cls_;
 };
+
+std::vector<const ParticleSet*> set_pointers(const std::vector<ParticleSet>& sets) {
+  std::vector<const ParticleSet*> out;
+  out.reserve(sets.size());
+  for (const ParticleSet& s : sets) out.push_back(&s);
+  return out;
+}
+
+void fill_energy(const ParticleSet& parts, wire::StepResult& sr) {
+  const ParticleSet* sets[] = {&parts};
+  sr.kinetic = total_kinetic_energy(sets);
+  sr.potential = total_potential_energy(sets);
+}
 
 }  // namespace
 
@@ -56,8 +120,10 @@ ClusterSimulation::ClusterSimulation(const ClusterConfig& cfg) : cfg_(cfg) {
   sets_.resize(static_cast<std::size_t>(cfg_.sim.nranks));
   decomp_ = Decomposition::uniform(cfg_.sim.nranks);
   migrate_net_ = std::make_unique<InProcTransport>(cfg_.sim.nranks);
+  migrate_rec_ = std::make_unique<TrafficRecordingTransport>(*migrate_net_);
 
   net_ = SocketTransport::listen(cfg_.port, cfg_.sim.nranks);
+  if (cfg_.on_listen) cfg_.on_listen(net_->port());
   if (cfg_.spawn_workers) {
     spawn_workers();
     // Spawned workers connect within milliseconds; a generous deadline plus
@@ -74,6 +140,11 @@ ClusterSimulation::ClusterSimulation(const ClusterConfig& cfg) : cfg_(cfg) {
       }
       return true;
     });
+  } else if (cfg_.on_listen) {
+    // Workers launched by the on_listen hook (in-process test threads) are
+    // already racing toward connect(); bound the wait so a broken hook fails
+    // the test instead of hanging it.
+    net_->accept_workers(/*timeout_ms=*/120000);
   } else {
     // Externally launched workers arrive on the operator's schedule.
     net_->accept_workers();
@@ -131,20 +202,60 @@ void ClusterSimulation::init(ParticleSet global) {
   prev_gravity_seconds_.clear();
   prev_rank_size_.clear();
   next_step_ = 0;
+  spmd_stepped_ = false;
+  spmd_particles_ = 0;
+  spmd_kinetic_ = spmd_potential_ = 0.0;
   StepReport scratch;
   TimeBreakdown driver;
   redistribute(scratch, driver);
+  migrate_rec_->take();  // the bootstrap scatter is not step traffic
+  // SPMD: the slices stay here until the first StepBegin ships them out;
+  // afterwards the workers own them for the rest of the run.
+  bootstrap_pending_ = cfg_.mode == ClusterMode::kSpmd;
 }
 
 void ClusterSimulation::redistribute(StepReport& report, TimeBreakdown& driver_times) {
   DomainUpdate du = redistribute_sets(sets_, cfg_.sim, prev_gravity_seconds_,
-                                      prev_rank_size_, *migrate_net_, report, driver_times);
+                                      prev_rank_size_, *migrate_rec_, report, driver_times);
   bounds_ = du.bounds;
   space_ = du.space;
   decomp_ = std::move(du.decomp);
 }
 
 StepReport ClusterSimulation::step() {
+  return cfg_.mode == ClusterMode::kSpmd ? step_spmd() : step_hub();
+}
+
+wire::StepResult ClusterSimulation::recv_step_result(TrafficRecordingTransport& rec,
+                                                     StepReport& report,
+                                                     std::vector<std::uint8_t>& seen) {
+  std::optional<std::vector<std::uint8_t>> frame = net_->recv(kCoordinatorRank);
+  BONSAI_CHECK_MSG(frame.has_value(), "a worker disconnected before its step result");
+  WallTimer timer;
+  wire::StepResult sr = wire::decode_step_result(*frame);
+  report.part_wire.decode_seconds += timer.elapsed();
+  report.part_wire.frames += 1;
+  report.part_wire.bytes += frame->size();
+  BONSAI_CHECK_MSG(sr.rank >= 0 && sr.rank < static_cast<int>(seen.size()) &&
+                       !seen[static_cast<std::size_t>(sr.rank)],
+                   "duplicate or out-of-range step result");
+  seen[static_cast<std::size_t>(sr.rank)] = 1;
+  rec.record(sr.rank, kCoordinatorRank,
+             static_cast<std::uint16_t>(wire::FrameType::kStepResult), frame->size());
+  report.let_cells += sr.let_cells;
+  report.let_particles += sr.let_particles;
+  report.local_stats += sr.local_stats;
+  report.remote_stats += sr.remote_stats;
+  report.let_wire += sr.let_wire;
+  report.part_wire += sr.part_wire;
+  report.dom_wire += sr.dom_wire;
+  report.let_sizes.insert(report.let_sizes.end(), sr.let_sizes.begin(),
+                          sr.let_sizes.end());
+  wire::merge_traffic(report.traffic, sr.traffic);
+  return sr;
+}
+
+StepReport ClusterSimulation::step_hub() {
   StepReport report;
   report.step = next_step_++;
   report.async = false;  // workers pipeline internally, but no lane model here
@@ -153,6 +264,7 @@ StepReport ClusterSimulation::step() {
   const std::size_t nranks = sets_.size();
   TimeBreakdown driver_times;
   std::vector<TimeBreakdown> rank_times(nranks);
+  TrafficRecordingTransport rec(*net_);
 
   redistribute(report, driver_times);
 
@@ -170,6 +282,7 @@ StepReport ClusterSimulation::step() {
   for (std::size_t r = 0; r < nranks; ++r) {
     wire::StepBegin sb;
     sb.step = report.step;
+    sb.mode = wire::StepMode::kHub;
     sb.bounds = bounds_;
     sb.active = active;
     sb.boxes = boxes;
@@ -179,33 +292,16 @@ StepReport ClusterSimulation::step() {
     report.part_wire.encode_seconds += timer.elapsed();
     report.part_wire.frames += 1;
     report.part_wire.bytes += frame.size();
-    net_->post(kCoordinatorRank, static_cast<int>(r), std::move(frame));
+    rec.post(kCoordinatorRank, static_cast<int>(r), std::move(frame));
   }
 
   // Collect one result per worker, in arrival order.
   std::vector<std::uint8_t> seen(nranks, 0);
   for (std::size_t i = 0; i < nranks; ++i) {
-    std::optional<std::vector<std::uint8_t>> frame = net_->recv(kCoordinatorRank);
-    BONSAI_CHECK_MSG(frame.has_value(), "a worker disconnected before its step result");
-    WallTimer timer;
-    wire::StepResult sr = wire::decode_step_result(*frame);
-    report.part_wire.decode_seconds += timer.elapsed();
-    report.part_wire.frames += 1;
-    report.part_wire.bytes += frame->size();
-    BONSAI_CHECK_MSG(sr.rank >= 0 && sr.rank < static_cast<int>(nranks) &&
-                         !seen[static_cast<std::size_t>(sr.rank)],
-                     "duplicate or out-of-range step result");
-    seen[static_cast<std::size_t>(sr.rank)] = 1;
+    wire::StepResult sr = recv_step_result(rec, report, seen);
     const auto r = static_cast<std::size_t>(sr.rank);
     sets_[r] = std::move(sr.parts);
     rank_times[r] = std::move(sr.times);
-    report.let_cells += sr.let_cells;
-    report.let_particles += sr.let_particles;
-    report.local_stats += sr.local_stats;
-    report.remote_stats += sr.remote_stats;
-    report.let_wire += sr.let_wire;
-    report.let_sizes.insert(report.let_sizes.end(), sr.let_sizes.begin(),
-                            sr.let_sizes.end());
   }
 
   prev_gravity_seconds_.assign(nranks, 0.0);
@@ -216,43 +312,330 @@ StepReport ClusterSimulation::step() {
     prev_rank_size_[r] = sets_[r].size();
   }
 
+  wire::merge_traffic(report.traffic, rec.take());
+  wire::merge_traffic(report.traffic, migrate_rec_->take());
   fold_stage_times(report, driver_times, rank_times);
   report.elapsed = wall.elapsed();
   return report;
 }
 
-namespace {
+StepReport ClusterSimulation::step_spmd() {
+  StepReport report;
+  report.step = next_step_++;
+  report.async = false;
+  WallTimer wall;
 
-std::vector<const ParticleSet*> set_pointers(const std::vector<ParticleSet>& sets) {
-  std::vector<const ParticleSet*> out;
-  out.reserve(sets.size());
-  for (const ParticleSet& s : sets) out.push_back(&s);
-  return out;
+  const std::size_t nranks = sets_.size();
+  TrafficRecordingTransport rec(*net_);
+
+  // A bare step trigger — plus, on the first step, the bootstrap slices the
+  // init() redistribute computed. From then on the coordinator holds no
+  // particle state: the workers sample, decompose and migrate among
+  // themselves and report only aggregates.
+  const bool bootstrap = bootstrap_pending_;
+  bootstrap_pending_ = false;
+  for (std::size_t r = 0; r < nranks; ++r) {
+    wire::StepBegin sb;
+    sb.step = report.step;
+    sb.mode = bootstrap ? wire::StepMode::kSpmdBootstrap : wire::StepMode::kSpmdStep;
+    if (bootstrap) sb.parts = std::move(sets_[r]);
+    WallTimer timer;
+    std::vector<std::uint8_t> frame = wire::encode_step_begin(sb);
+    report.part_wire.encode_seconds += timer.elapsed();
+    report.part_wire.frames += 1;
+    report.part_wire.bytes += frame.size();
+    rec.post(kCoordinatorRank, static_cast<int>(r), std::move(frame));
+  }
+
+  std::vector<TimeBreakdown> rank_times(nranks);
+  std::vector<std::uint8_t> seen(nranks, 0);
+  std::vector<sfc::Key> agreed_bounds;
+  std::size_t total = 0;
+  std::uint64_t migrated = 0;
+  double kinetic = 0.0, potential = 0.0;
+  for (std::size_t i = 0; i < nranks; ++i) {
+    wire::StepResult sr = recv_step_result(rec, report, seen);
+    rank_times[static_cast<std::size_t>(sr.rank)] = std::move(sr.times);
+    total += sr.local_count;
+    migrated += sr.migrated;
+    kinetic += sr.kinetic;
+    potential += sr.potential;
+    // Decentralized decomposition cross-check: every worker must have cut
+    // the identical partition, or the LET/migration protocols are exchanging
+    // against different domains — fail fast, never average.
+    BONSAI_CHECK_MSG(!sr.boundaries.empty(), "SPMD step result without boundaries");
+    if (agreed_bounds.empty()) {
+      agreed_bounds = std::move(sr.boundaries);
+    } else {
+      BONSAI_CHECK_MSG(agreed_bounds == sr.boundaries,
+                       "workers computed diverging decompositions");
+    }
+  }
+  report.num_particles = total;
+  report.migrated = migrated;
+  decomp_ = Decomposition::from_boundaries(std::move(agreed_bounds));
+  spmd_particles_ = total;
+  spmd_kinetic_ = kinetic;
+  spmd_potential_ = potential;
+  spmd_stepped_ = true;
+
+  wire::merge_traffic(report.traffic, rec.take());
+  TimeBreakdown driver_times;
+  fold_stage_times(report, driver_times, rank_times);
+  report.elapsed = wall.elapsed();
+  return report;
 }
 
-}  // namespace
-
-ParticleSet ClusterSimulation::gather() const { return gather_sorted(set_pointers(sets_)); }
+ParticleSet ClusterSimulation::gather() const {
+  if (cfg_.mode == ClusterMode::kSpmd && spmd_stepped_) {
+    // Collect round-trip: each worker replies with its resident particles
+    // (forces included); worth O(N) only because gather is rare (validation,
+    // snapshots) rather than per-step protocol.
+    const std::size_t nranks = sets_.size();
+    wire::StepBegin sb;
+    sb.step = next_step_;
+    sb.mode = wire::StepMode::kCollect;
+    const std::vector<std::uint8_t> frame = wire::encode_step_begin(sb);
+    for (std::size_t r = 0; r < nranks; ++r)
+      net_->post(kCoordinatorRank, static_cast<int>(r), frame);
+    std::vector<ParticleSet> collected(nranks);
+    std::vector<std::uint8_t> seen(nranks, 0);
+    for (std::size_t i = 0; i < nranks; ++i) {
+      std::optional<std::vector<std::uint8_t>> reply = net_->recv(kCoordinatorRank);
+      BONSAI_CHECK_MSG(reply.has_value(), "a worker disconnected during gather");
+      wire::ParticleBatch batch = wire::decode_particles(*reply);
+      BONSAI_CHECK_MSG(batch.src >= 0 && batch.src < static_cast<int>(nranks) &&
+                           !seen[static_cast<std::size_t>(batch.src)],
+                       "duplicate or out-of-range gather reply");
+      BONSAI_CHECK_MSG(batch.with_forces, "gather replies must carry forces");
+      seen[static_cast<std::size_t>(batch.src)] = 1;
+      collected[static_cast<std::size_t>(batch.src)] = std::move(batch.parts);
+    }
+    return gather_sorted(set_pointers(collected));
+  }
+  return gather_sorted(set_pointers(sets_));
+}
 
 std::size_t ClusterSimulation::num_particles() const {
+  if (cfg_.mode == ClusterMode::kSpmd && spmd_stepped_) return spmd_particles_;
   std::size_t n = 0;
   for (const ParticleSet& p : sets_) n += p.size();
   return n;
 }
 
 double ClusterSimulation::kinetic_energy() const {
+  if (cfg_.mode == ClusterMode::kSpmd && spmd_stepped_) return spmd_kinetic_;
   return total_kinetic_energy(set_pointers(sets_));
 }
 
 double ClusterSimulation::potential_energy() const {
+  if (cfg_.mode == ClusterMode::kSpmd && spmd_stepped_) return spmd_potential_;
   return total_potential_energy(set_pointers(sets_));
 }
+
+namespace {
+
+// Per-worker state the SPMD protocol carries across steps (the feedback for
+// cost balancing; everything else lives in the resident ParticleSet).
+struct SpmdState {
+  double prev_gravity_seconds = 0.0;
+  std::size_t prev_size = 0;
+};
+
+// Broadcast one encoded frame to every peer, accounting encode time once and
+// frames/bytes per post (each peer receives its own copy of the bytes).
+template <typename EncodeFn>
+void broadcast(Transport& out, int self, int nranks, wire::WireStats& ws,
+               EncodeFn&& encode) {
+  WallTimer timer;
+  const std::vector<std::uint8_t> frame = encode();
+  ws.encode_seconds += timer.elapsed();
+  for (int dst = 0; dst < nranks; ++dst) {
+    if (dst == self) continue;
+    ws.frames += 1;
+    ws.bytes += frame.size();
+    out.post(self, dst, frame);
+  }
+}
+
+// The decentralized per-step domain update + migration + LET/gravity body of
+// one SPMD worker. Fills sr's statistics (times excepted: the caller owns
+// the breakdown) and leaves the stepped particles resident in `rank`.
+void run_spmd_step(Rank& rank, const SimConfig& cfg, int step, FrameDemux& demux,
+                   Transport& out, SpmdState& st, TimeBreakdown& times,
+                   wire::StepResult& sr) {
+  const int nranks = cfg.nranks;
+  const int self = rank.id();
+  ParticleSet& parts = rank.parts();
+  wire::WireStats dom_ws;
+
+  // --- Phase 1: pre-migration allgather of bounds/population/cost weight ---
+  // After it, every rank holds the identical inputs the centralized
+  // update_domain() consumes, so the KeySpace, stride and weight vector are
+  // bitwise-identical on all ranks.
+  WallTimer domain_timer;
+  wire::Boundaries pre;
+  pre.src = self;
+  pre.step = step;
+  pre.count = parts.size();
+  if (!parts.empty()) pre.box = parts.bounds();
+  if (cfg.balance == BalanceMode::kCost && step > 0 && st.prev_size > 0)
+    pre.weight = st.prev_gravity_seconds / static_cast<double>(st.prev_size);
+  broadcast(out, self, nranks, dom_ws, [&] { return wire::encode_boundaries(pre); });
+
+  std::vector<std::uint64_t> counts(static_cast<std::size_t>(nranks), 0);
+  std::vector<double> weights(static_cast<std::size_t>(nranks), 0.0);
+  std::vector<std::uint8_t> seen(static_cast<std::size_t>(nranks), 0);
+  AABB bounds;
+  counts[static_cast<std::size_t>(self)] = pre.count;
+  weights[static_cast<std::size_t>(self)] = pre.weight;
+  seen[static_cast<std::size_t>(self)] = 1;
+  if (pre.count > 0) bounds.expand(pre.box);
+  for (int k = 0; k + 1 < nranks; ++k) {
+    std::optional<std::vector<std::uint8_t>> frame =
+        demux.recv(FrameDemux::Class::kBoundaries);
+    if (!frame)
+      throw std::runtime_error("worker: a peer vanished during the domain allgather");
+    WallTimer timer;
+    const wire::Boundaries b = wire::decode_boundaries(*frame);
+    dom_ws.decode_seconds += timer.elapsed();
+    BONSAI_CHECK_MSG(b.src >= 0 && b.src < nranks && !seen[static_cast<std::size_t>(b.src)],
+                     "boundaries from an impossible or duplicate rank");
+    BONSAI_CHECK_MSG(b.step == step && !b.post_migration,
+                     "boundaries from the wrong step or phase");
+    seen[static_cast<std::size_t>(b.src)] = 1;
+    counts[static_cast<std::size_t>(b.src)] = b.count;
+    weights[static_cast<std::size_t>(b.src)] = b.weight;
+    if (b.count > 0) bounds.expand(b.box);
+  }
+  bounds = domain_bounds_or_default(bounds);
+  const sfc::KeySpace space(bounds, cfg.curve);
+  std::size_t total = 0;
+  for (const std::uint64_t c : counts) total += static_cast<std::size_t>(c);
+  const std::size_t stride = sample_stride(total, nranks, cfg.samples_per_rank);
+  const bool use_weights = cfg.balance == BalanceMode::kCost && step > 0;
+  if (use_weights) apply_cost_floor(weights);
+
+  // --- Phase 2: sampled-key allgather -> identical Decomposition ------------
+  wire::KeySamples mine;
+  mine.src = self;
+  mine.step = step;
+  mine.keys = sample_keys(parts, space, stride);
+  broadcast(out, self, nranks, dom_ws, [&] { return wire::encode_key_samples(mine); });
+
+  std::vector<std::vector<sfc::Key>> samples(static_cast<std::size_t>(nranks));
+  samples[static_cast<std::size_t>(self)] = std::move(mine.keys);
+  seen.assign(static_cast<std::size_t>(nranks), 0);
+  seen[static_cast<std::size_t>(self)] = 1;
+  for (int k = 0; k + 1 < nranks; ++k) {
+    std::optional<std::vector<std::uint8_t>> frame =
+        demux.recv(FrameDemux::Class::kKeySamples);
+    if (!frame)
+      throw std::runtime_error("worker: a peer vanished during the sample allgather");
+    WallTimer timer;
+    wire::KeySamples ks = wire::decode_key_samples(*frame);
+    dom_ws.decode_seconds += timer.elapsed();
+    BONSAI_CHECK_MSG(
+        ks.src >= 0 && ks.src < nranks && !seen[static_cast<std::size_t>(ks.src)],
+        "key samples from an impossible or duplicate rank");
+    BONSAI_CHECK_MSG(ks.step == step, "key samples from the wrong step");
+    seen[static_cast<std::size_t>(ks.src)] = 1;
+    samples[static_cast<std::size_t>(ks.src)] = std::move(ks.keys);
+  }
+  // Pool in rank order — the exact concatenation update_domain() builds — so
+  // every rank cuts the identical boundaries.
+  std::vector<Decomposition::WeightedKey> pooled;
+  for (std::size_t r = 0; r < samples.size(); ++r) {
+    const double w = use_weights ? weights[r] : 1.0;
+    for (const sfc::Key key : samples[r]) pooled.push_back({key, w});
+  }
+  const Decomposition decomp =
+      Decomposition::from_weighted_samples(std::move(pooled), nranks, cfg.snap_level);
+  sr.boundaries.assign(decomp.boundaries().begin(), decomp.boundaries().end());
+  const double dom_wire_pre = dom_ws.encode_seconds + dom_ws.decode_seconds;
+  times.add("Domain update", std::max(0.0, domain_timer.elapsed() - dom_wire_pre));
+
+  // --- Phase 3: peer-to-peer migration (the alltoallv, boundary crossers
+  // only), then phase 4: post-migration allgather of the active set and the
+  // tight domain boxes peers build LETs against. Phase 3's recv loop is the
+  // migration barrier: no rank proceeds before owning its full new slice.
+  WallTimer exchange_timer;
+  DemuxTransport mig_net(demux, out, FrameDemux::Class::kMigration);
+  MigrationExchange mex(mig_net, nranks);
+  const ExchangeStats ex = exchange_resident(parts, self, space, decomp, mex, step);
+  sr.migrated = ex.migrated;
+  wire::WireStats part_ws = mex.encode_stats(self);
+  part_ws.decode_seconds = mex.decode_stats(self).decode_seconds;
+
+  wire::Boundaries post;
+  post.src = self;
+  post.step = step;
+  post.post_migration = true;
+  post.count = parts.size();
+  if (!parts.empty()) post.box = parts.bounds();
+  broadcast(out, self, nranks, dom_ws, [&] { return wire::encode_boundaries(post); });
+
+  std::vector<std::uint8_t> active(static_cast<std::size_t>(nranks), 0);
+  std::vector<AABB> boxes(static_cast<std::size_t>(nranks));
+  active[static_cast<std::size_t>(self)] = post.count > 0;
+  if (post.count > 0) boxes[static_cast<std::size_t>(self)] = post.box;
+  seen.assign(static_cast<std::size_t>(nranks), 0);
+  seen[static_cast<std::size_t>(self)] = 1;
+  for (int k = 0; k + 1 < nranks; ++k) {
+    std::optional<std::vector<std::uint8_t>> frame =
+        demux.recv(FrameDemux::Class::kBoundaries);
+    if (!frame)
+      throw std::runtime_error("worker: a peer vanished during the box allgather");
+    WallTimer timer;
+    const wire::Boundaries b = wire::decode_boundaries(*frame);
+    dom_ws.decode_seconds += timer.elapsed();
+    BONSAI_CHECK_MSG(b.src >= 0 && b.src < nranks && !seen[static_cast<std::size_t>(b.src)],
+                     "post boxes from an impossible or duplicate rank");
+    BONSAI_CHECK_MSG(b.step == step && b.post_migration,
+                     "post boxes from the wrong step or phase");
+    seen[static_cast<std::size_t>(b.src)] = 1;
+    active[static_cast<std::size_t>(b.src)] = b.count > 0;
+    if (b.count > 0) boxes[static_cast<std::size_t>(b.src)] = b.box;
+  }
+  const double exchange_wire = (dom_ws.encode_seconds + dom_ws.decode_seconds -
+                                dom_wire_pre) +
+                               part_ws.encode_seconds + part_ws.decode_seconds;
+  times.add("Exchange particles", std::max(0.0, exchange_timer.elapsed() - exchange_wire));
+  times.add("Wire encode", dom_ws.encode_seconds + part_ws.encode_seconds);
+  times.add("Wire decode", dom_ws.decode_seconds + part_ws.decode_seconds);
+  sr.dom_wire = dom_ws;
+  sr.part_wire = part_ws;
+
+  // --- Build + LET exchange + gravity + integration: the exact same step
+  // body as the in-process lanes and the hub workers.
+  rank.build(space, cfg, times);
+  DemuxTransport let_net_view(demux, out, FrameDemux::Class::kLet);
+  LetExchange let_net(let_net_view, active);
+  std::size_t next_peer = 1;
+  RankStepStats out_stats =
+      run_rank_step(rank, cfg, let_net, active, boxes, times, /*lane=*/nullptr, next_peer);
+  sr.let_cells = out_stats.let_cells;
+  sr.let_particles = out_stats.let_particles;
+  sr.local_stats = out_stats.local_stats;
+  sr.remote_stats = out_stats.remote_stats;
+  sr.let_sizes = std::move(out_stats.let_sizes);
+  sr.let_wire = let_net.encode_stats(self);
+  sr.let_wire.decode_seconds = let_net.decode_stats(self).decode_seconds;
+
+  st.prev_gravity_seconds =
+      times.get("Gravity local") + times.get("Gravity remote");
+  st.prev_size = parts.size();
+}
+
+}  // namespace
 
 int run_worker(const std::string& host, std::uint16_t port, int rank_id,
                std::size_t threads) {
   std::unique_ptr<SocketTransport> net = SocketTransport::connect(host, port, rank_id);
+  TrafficRecordingTransport out(*net);
+  FrameDemux demux(out, rank_id);
 
-  std::optional<std::vector<std::uint8_t>> frame = net->recv(rank_id);
+  std::optional<std::vector<std::uint8_t>> frame = demux.recv(FrameDemux::Class::kControl);
   if (!frame) throw std::runtime_error("worker: coordinator closed before config");
   SimConfig cfg = wire::decode_config(*frame);
   BONSAI_CHECK_MSG(rank_id >= 0 && rank_id < cfg.nranks,
@@ -260,7 +643,7 @@ int run_worker(const std::string& host, std::uint16_t port, int rank_id,
   cfg.threads_per_rank = threads;
   cfg.async = true;
   Rank rank(rank_id, threads_for(cfg, std::thread::hardware_concurrency()));
-  StashTransport snet(*net);
+  SpmdState st;
 
   // The previous step's StepResult encode time: it cannot ride in the frame
   // it measures (the timings are part of the payload), so it is reported one
@@ -268,50 +651,67 @@ int run_worker(const std::string& host, std::uint16_t port, int rank_id,
   double pending_result_encode_s = 0.0;
 
   for (;;) {
-    frame = net->recv(rank_id);
+    frame = demux.recv(FrameDemux::Class::kControl);
     if (!frame) throw std::runtime_error("worker: coordinator disconnected");
     const wire::FrameType type = wire::frame_type(*frame);
     if (type == wire::FrameType::kShutdown) return 0;
-    if (type == wire::FrameType::kLet) {
-      // A peer raced its LETs ahead of our StepBegin; hold them for the
-      // exchange below.
-      snet.push(std::move(*frame));
-      continue;
-    }
     if (type != wire::FrameType::kStepBegin)
       throw std::runtime_error("worker: unexpected frame type from coordinator");
 
     WallTimer decode_timer;
     wire::StepBegin sb = wire::decode_step_begin(*frame);
     const double sb_decode_s = decode_timer.elapsed();
-    BONSAI_CHECK(sb.active.size() == static_cast<std::size_t>(cfg.nranks));
-    const sfc::KeySpace space(sb.bounds, cfg.curve);
-    rank.parts() = std::move(sb.parts);
+
+    if (sb.mode == wire::StepMode::kCollect) {
+      // Snapshot request: ship the resident particles (forces included)
+      // without stepping. SPMD gather() and future checkpointing use this.
+      // Bypass the traffic recorder: the reply belongs to no step, and must
+      // not surface as Particles-class bytes in the next step's matrix.
+      net->post(rank_id, kCoordinatorRank,
+                wire::encode_particles(rank_id, rank.parts(), /*with_forces=*/true));
+      continue;
+    }
 
     TimeBreakdown times;
     times.add("Wire decode", sb_decode_s);
     times.add("Wire encode", pending_result_encode_s);
     pending_result_encode_s = 0.0;
-    rank.build(space, cfg, times);
 
-    // The exact same per-rank step body as the in-process async lanes, so
-    // out-of-process runs reproduce in-process forces.
     wire::StepResult sr;
     sr.rank = rank_id;
-    LetExchange let_net(snet, sb.active);
-    std::size_t next_peer = 1;
-    RankStepStats out =
-        run_rank_step(rank, cfg, let_net, sb.active, sb.boxes, times,
-                      /*lane=*/nullptr, next_peer);
-    sr.let_cells = out.let_cells;
-    sr.let_particles = out.let_particles;
-    sr.local_stats = out.local_stats;
-    sr.remote_stats = out.remote_stats;
-    sr.let_sizes = std::move(out.let_sizes);
-    sr.let_wire = let_net.encode_stats(rank_id);
-    sr.let_wire.decode_seconds = let_net.decode_stats(rank_id).decode_seconds;
+    if (sb.mode == wire::StepMode::kHub) {
+      // Hub: the coordinator computed the domain update; this worker runs
+      // the per-rank pipeline on the shipped batch and returns it.
+      BONSAI_CHECK(sb.active.size() == static_cast<std::size_t>(cfg.nranks));
+      const sfc::KeySpace space(sb.bounds, cfg.curve);
+      rank.parts() = std::move(sb.parts);
+      rank.build(space, cfg, times);
+      DemuxTransport let_net_view(demux, out, FrameDemux::Class::kLet);
+      LetExchange let_net(let_net_view, sb.active);
+      std::size_t next_peer = 1;
+      RankStepStats out_stats = run_rank_step(rank, cfg, let_net, sb.active, sb.boxes,
+                                              times, /*lane=*/nullptr, next_peer);
+      sr.let_cells = out_stats.let_cells;
+      sr.let_particles = out_stats.let_particles;
+      sr.local_stats = out_stats.local_stats;
+      sr.remote_stats = out_stats.remote_stats;
+      sr.let_sizes = std::move(out_stats.let_sizes);
+      sr.let_wire = let_net.encode_stats(rank_id);
+      sr.let_wire.decode_seconds = let_net.decode_stats(rank_id).decode_seconds;
+      // Energies and balance feedback stay coordinator-side in hub mode (it
+      // owns the returned sets); only the population count rides along.
+      sr.local_count = rank.parts().size();
+      sr.parts = std::move(rank.parts());
+    } else {
+      // SPMD: resident state, distributed domain update, peer migration.
+      if (sb.mode == wire::StepMode::kSpmdBootstrap) rank.parts() = std::move(sb.parts);
+      run_spmd_step(rank, cfg, sb.step, demux, out, st, times, sr);
+      fill_energy(rank.parts(), sr);
+      sr.local_count = rank.parts().size();
+      // sr.parts stays empty: the particles never leave this worker.
+    }
     sr.times = times;
-    sr.parts = std::move(rank.parts());
+    sr.traffic = out.take();
     WallTimer encode_timer;
     std::vector<std::uint8_t> result = wire::encode_step_result(sr);
     pending_result_encode_s = encode_timer.elapsed();

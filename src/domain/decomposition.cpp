@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "domain/channel.hpp"
 #include "domain/transport.hpp"
 #include "util/check.hpp"
 #include "util/timer.hpp"
@@ -106,6 +107,17 @@ std::vector<sfc::Key> sample_keys(const ParticleSet& parts, const sfc::KeySpace&
   return samples;
 }
 
+std::size_t sample_stride(std::size_t total, int nranks, std::size_t samples_per_rank) {
+  const std::size_t target = samples_per_rank * static_cast<std::size_t>(nranks);
+  return std::max<std::size_t>(1, total / std::max<std::size_t>(1, target));
+}
+
+void apply_cost_floor(std::span<double> weights) {
+  double max_w = 0.0;
+  for (const double w : weights) max_w = std::max(max_w, w);
+  for (double& w : weights) w = std::max(w, 1e-3 * max_w);
+}
+
 DomainUpdate update_domain(std::span<const ParticleSet* const> rank_parts, int nranks,
                            sfc::CurveType curve, std::size_t samples_per_rank,
                            int snap_level, std::span<const double> weights) {
@@ -118,15 +130,13 @@ DomainUpdate update_domain(std::span<const ParticleSet* const> rank_parts, int n
     if (!parts->empty()) out.bounds.expand(parts->bounds());
     total += parts->size();
   }
-  if (!out.bounds.valid()) out.bounds = {{0, 0, 0}, {1, 1, 1}};  // no particles anywhere
+  out.bounds = domain_bounds_or_default(out.bounds);
   out.space = sfc::KeySpace(out.bounds, curve);
 
   // One global stride for every rank: pooled samples stay uniformly weighted
   // per particle, so quantile cuts keep tracking the population even when
   // rank sizes have drifted apart.
-  const std::size_t target = samples_per_rank * static_cast<std::size_t>(nranks);
-  const std::size_t stride =
-      std::max<std::size_t>(1, total / std::max<std::size_t>(1, target));
+  const std::size_t stride = sample_stride(total, nranks, samples_per_rank);
 
   std::vector<Decomposition::WeightedKey> samples;
   for (std::size_t r = 0; r < rank_parts.size(); ++r) {
@@ -242,6 +252,68 @@ ExchangeStats exchange(std::vector<ParticleSet>& rank_parts, const sfc::KeySpace
                        const Decomposition& decomp) {
   InProcTransport scratch(decomp.num_ranks());
   return exchange(rank_parts, space, decomp, scratch, nullptr);
+}
+
+ExchangeStats exchange_resident(ParticleSet& mine, int self, const sfc::KeySpace& space,
+                                const Decomposition& decomp, MigrationExchange& mex,
+                                int step) {
+  const auto nranks = static_cast<std::size_t>(decomp.num_ranks());
+  const auto r = static_cast<std::size_t>(self);
+  BONSAI_CHECK(r < nranks);
+
+  // Key + owner per local particle, exactly as the centralized pre-pass does.
+  ExchangeStats stats;
+  std::vector<int> dest(mine.size());
+  for (std::size_t i = 0; i < mine.size(); ++i) {
+    mine.key[i] = space.key(mine.pos(i));
+    dest[i] = decomp.rank_of(mine.key[i]);
+    if (dest[i] != self) ++stats.migrated;
+  }
+
+  // Send side: one emigrant batch per peer, empty batches included (peers
+  // count on exactly nranks-1 arrivals).
+  std::vector<ParticleSet> batches(nranks);
+  for (std::size_t i = 0; i < mine.size(); ++i) {
+    const auto d = static_cast<std::size_t>(dest[i]);
+    if (d == r) continue;
+    batches[d].add(mine.get(i));
+    batches[d].key.back() = mine.key[i];
+  }
+  for (std::size_t d = 0; d < nranks; ++d) {
+    if (d == r) continue;
+    mex.post(self, static_cast<int>(d), batches[d], step);
+  }
+
+  // Receive side: collect the nranks-1 inbound batches (any arrival order),
+  // then splice them around the local stayers in source-rank order — the
+  // ordering exchange() produces for this rank.
+  std::vector<ParticleSet> arrived(nranks);
+  std::vector<std::uint8_t> seen(nranks, 0);
+  while (std::optional<wire::MigrationMsg> msg = mex.recv(self, step)) {
+    BONSAI_CHECK_MSG(msg->src >= 0 && msg->src < static_cast<int>(nranks) &&
+                         msg->src != self && !seen[static_cast<std::size_t>(msg->src)],
+                     "migration batch from an impossible or duplicate source rank");
+    seen[static_cast<std::size_t>(msg->src)] = 1;
+    arrived[static_cast<std::size_t>(msg->src)] = std::move(msg->parts);
+  }
+  ParticleSet out;
+  std::size_t stayers = mine.size() - static_cast<std::size_t>(stats.migrated);
+  for (const ParticleSet& a : arrived) stayers += a.size();
+  out.reserve(stayers);
+  for (std::size_t src = 0; src < nranks; ++src) {
+    if (src == r) {
+      for (std::size_t i = 0; i < mine.size(); ++i) {
+        if (static_cast<std::size_t>(dest[i]) != r) continue;
+        out.add(mine.get(i));
+        out.key.back() = mine.key[i];
+      }
+    } else {
+      append_particles(out, arrived[src]);
+    }
+  }
+  mine = std::move(out);
+  stats.total = mine.size();
+  return stats;
 }
 
 }  // namespace bonsai::domain

@@ -21,6 +21,7 @@
 namespace bonsai::domain {
 
 class Transport;
+class MigrationExchange;
 
 // A partition of the SFC key space into contiguous per-rank intervals.
 // Rank r owns keys in [boundaries()[r], boundaries()[r+1]).
@@ -85,6 +86,24 @@ class Decomposition {
 std::vector<sfc::Key> sample_keys(const ParticleSet& parts, const sfc::KeySpace& space,
                                   std::size_t stride);
 
+// The pieces of the per-step domain update, exposed separately so the
+// centralized update_domain() below and the decentralized SPMD workers run
+// the *same arithmetic* on the same inputs and therefore derive the
+// identical KeySpace, stride and Decomposition:
+
+// Fallback when no particle exists anywhere (keeps KeySpace constructible).
+inline AABB domain_bounds_or_default(AABB bounds) {
+  if (!bounds.valid()) bounds = {{0, 0, 0}, {1, 1, 1}};
+  return bounds;
+}
+
+// The global sample stride for a population of `total` particles.
+std::size_t sample_stride(std::size_t total, int nranks, std::size_t samples_per_rank);
+
+// Feedback-balancing floor: w = max(w, 1e-3 * max(w)) keeps a rank whose
+// timings underflowed from collapsing its region to nothing.
+void apply_cost_floor(std::span<double> weights);
+
 // Result of one "Domain update" stage: the raw global particle bounds (kept
 // so a remote worker can reconstruct the KeySpace bit-identically), the key
 // space built from them, and the new partition.
@@ -125,5 +144,17 @@ ExchangeStats exchange(std::vector<ParticleSet>& rank_parts, const sfc::KeySpace
 // Convenience overload routing through a scratch in-process transport.
 ExchangeStats exchange(std::vector<ParticleSet>& rank_parts, const sfc::KeySpace& space,
                        const Decomposition& decomp);
+
+// The decentralized alltoallv cell of one resident rank (the SPMD path):
+// compute each local particle's key and owner, post one Migration frame per
+// peer through `mex` (possibly empty — peers count on exactly nranks-1
+// arrivals), receive the inbound batches, and splice them around the local
+// stayers in source-rank order — reproducing bit-for-bit the population and
+// ordering exchange() gives rank `self` when run over all ranks at once.
+// Returns {total = resident population afterwards, migrated = emigrants
+// posted}; summed over all ranks these match the centralized stats.
+ExchangeStats exchange_resident(ParticleSet& mine, int self, const sfc::KeySpace& space,
+                                const Decomposition& decomp, MigrationExchange& mex,
+                                int step);
 
 }  // namespace bonsai::domain

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <numeric>
 #include <ostream>
 #include <thread>
@@ -66,6 +67,29 @@ LetSizeSummary summarize_let_sizes(std::span<const wire::LetSizeSample> sizes) {
   return s;
 }
 
+std::string human_bytes(double b);
+
+// One line per frame type present in the step's traffic matrix, aggregated
+// over peers; the per-(src,dst) cells go to the --bench JSON.
+void print_traffic_by_type(std::span<const wire::PeerTraffic> traffic, std::ostream& os) {
+  if (traffic.empty()) return;
+  std::map<std::uint16_t, std::pair<std::uint64_t, std::uint64_t>> by_type;
+  for (const wire::PeerTraffic& t : traffic) {
+    auto& cell = by_type[t.type];
+    cell.first += t.frames;
+    cell.second += t.bytes;
+  }
+  os << "traffic by type:";
+  bool first = true;
+  for (const auto& [type, cell] : by_type) {
+    os << (first ? " " : " | ")
+       << wire::frame_type_name(static_cast<wire::FrameType>(type)) << " "
+       << cell.first << "fr " << human_bytes(static_cast<double>(cell.second));
+    first = false;
+  }
+  os << "\n";
+}
+
 std::string human_bytes(double b) {
   const char* const units[] = {"B", "KiB", "MiB", "GiB"};
   int u = 0;
@@ -119,7 +143,8 @@ Simulation::Simulation(const SimConfig& cfg) : cfg_(cfg) {
   ranks_.reserve(static_cast<std::size_t>(cfg_.nranks));
   for (int r = 0; r < cfg_.nranks; ++r)
     ranks_.push_back(std::make_unique<Rank>(r, threads));
-  transport_ = std::make_unique<InProcTransport>(cfg_.nranks);
+  inproc_ = std::make_unique<InProcTransport>(cfg_.nranks);
+  transport_ = std::make_unique<TrafficRecordingTransport>(*inproc_);
   decomp_ = Decomposition::uniform(cfg_.nranks);
 }
 
@@ -131,6 +156,7 @@ void Simulation::init(ParticleSet global) {
   StepReport scratch;
   TimeBreakdown driver;
   redistribute(scratch, driver);
+  transport_->take();  // the bootstrap scatter is not step traffic
 }
 
 namespace {
@@ -148,14 +174,12 @@ std::vector<double> cost_weights(const SimConfig& cfg,
       prev_gravity_seconds.size() != static_cast<std::size_t>(cfg.nranks))
     return weight;
   weight.resize(prev_gravity_seconds.size());
-  double max_w = 0.0;
   for (std::size_t r = 0; r < weight.size(); ++r) {
     weight[r] = prev_rank_size[r] > 0
                     ? prev_gravity_seconds[r] / static_cast<double>(prev_rank_size[r])
                     : 0.0;
-    max_w = std::max(max_w, weight[r]);
   }
-  for (double& w : weight) w = std::max(w, 1e-3 * max_w);
+  apply_cost_floor(weight);
   return weight;
 }
 
@@ -260,7 +284,8 @@ StepReport Simulation::step() {
   // Fresh endpoints every step: a failed step may leave undrained LET
   // frames (or a closed mailbox from the failure path) behind, and those
   // must not leak into the next step's exchanges.
-  transport_ = std::make_unique<InProcTransport>(cfg_.nranks);
+  inproc_ = std::make_unique<InProcTransport>(cfg_.nranks);
+  transport_ = std::make_unique<TrafficRecordingTransport>(*inproc_);
 
   const std::size_t nranks = ranks_.size();
   TimeBreakdown driver_times;
@@ -291,6 +316,7 @@ StepReport Simulation::step() {
   }
 
   fold_stage_times(report, driver_times, rank_times);
+  report.traffic = transport_->take();
   report.elapsed = wall.elapsed();
   return report;
 }
@@ -568,7 +594,13 @@ void print_step_report(const StepReport& report, std::ostream& os) {
      << human_bytes(static_cast<double>(report.part_wire.bytes)) << " in "
      << report.part_wire.frames << " frame(s), enc "
      << TextTable::num(report.part_wire.encode_seconds * 1e3) << " ms, dec "
-     << TextTable::num(report.part_wire.decode_seconds * 1e3) << " ms\n";
+     << TextTable::num(report.part_wire.decode_seconds * 1e3) << " ms";
+  if (report.dom_wire.frames > 0) {
+    os << " | domain " << human_bytes(static_cast<double>(report.dom_wire.bytes)) << " in "
+       << report.dom_wire.frames << " frame(s)";
+  }
+  os << "\n";
+  print_traffic_by_type(report.traffic, os);
   print_let_histogram(report.let_sizes, os);
 
   if (report.async) {
@@ -611,7 +643,20 @@ void write_step_report_json(std::span<const StepReport> reports, std::ostream& o
        << ", \"part_bytes\": " << r.part_wire.bytes
        << ", \"part_frames\": " << r.part_wire.frames
        << ", \"part_encode_s\": " << r.part_wire.encode_seconds
-       << ", \"part_decode_s\": " << r.part_wire.decode_seconds << "}";
+       << ", \"part_decode_s\": " << r.part_wire.decode_seconds
+       << ", \"dom_bytes\": " << r.dom_wire.bytes
+       << ", \"dom_frames\": " << r.dom_wire.frames
+       << ", \"dom_encode_s\": " << r.dom_wire.encode_seconds
+       << ", \"dom_decode_s\": " << r.dom_wire.decode_seconds << "}";
+    os << ",\n   \"traffic\": [";
+    for (std::size_t t = 0; t < r.traffic.size(); ++t) {
+      const wire::PeerTraffic& pt = r.traffic[t];
+      os << (t == 0 ? "" : ", ") << "{\"src\": " << pt.src << ", \"dst\": " << pt.dst
+         << ", \"type\": \""
+         << wire::frame_type_name(static_cast<wire::FrameType>(pt.type))
+         << "\", \"frames\": " << pt.frames << ", \"bytes\": " << pt.bytes << '}';
+    }
+    os << "]";
     const LetSizeSummary ls = summarize_let_sizes(r.let_sizes);
     os << ",\n   \"let_size_bytes\": {\"count\": " << r.let_sizes.size()
        << ", \"min\": " << ls.min_bytes << ", \"median\": " << ls.median_bytes

@@ -56,11 +56,18 @@ struct StepReport {
   TimeBreakdown sum_times;  // per-stage sum over ranks (device-seconds)
   double elapsed = 0.0;     // actual wall-clock of the whole step
 
-  // Serialization accounting: LET frames (summed over ranks) and particle
-  // migration batches, plus the per-imported-LET size samples behind the
-  // step report's histogram.
-  wire::WireStats let_wire, part_wire;
+  // Serialization accounting: LET frames (summed over ranks), particle
+  // batches (migration cells plus the cluster StepBegin/StepResult frames
+  // that historically carried them), and the SPMD domain-control frames
+  // (Boundaries/KeySamples allgathers), plus the per-imported-LET size
+  // samples behind the step report's histogram.
+  wire::WireStats let_wire, part_wire, dom_wire;
   std::vector<wire::LetSizeSample> let_sizes;
+
+  // Per-(src, dst, frame type) send-side traffic matrix for the step, sorted
+  // by that key (kCoordinatorRank appears as -1). The measurable basis of
+  // hub-vs-SPMD traffic comparisons in CI.
+  std::vector<wire::PeerTraffic> traffic;
 
   // Schedule model (async steps only; see schedule.hpp): the pipelined
   // critical path vs the lockstep stage-sum over the rank-concurrent stages,
@@ -132,10 +139,13 @@ class Simulation {
   SimConfig cfg_;
   std::vector<std::unique_ptr<Rank>> ranks_;
   std::unique_ptr<Executor> executor_;  // created on the first async step
-  // All inter-rank traffic (LET frames, particle batches) flows through this
-  // byte transport; swapping it for a socket/MPI backend changes no pipeline
-  // code (the out-of-process driver in domain/cluster.hpp does exactly that).
-  std::unique_ptr<Transport> transport_;
+  // All inter-rank traffic (LET frames, particle batches) flows through the
+  // recorder wrapped around this byte transport; swapping the backend for a
+  // socket/MPI one changes no pipeline code (the out-of-process driver in
+  // domain/cluster.hpp does exactly that). The recorder feeds the step
+  // report's per-peer traffic matrix.
+  std::unique_ptr<InProcTransport> inproc_;
+  std::unique_ptr<TrafficRecordingTransport> transport_;
   Decomposition decomp_;
   sfc::KeySpace space_;
   int next_step_ = 0;

@@ -114,6 +114,38 @@ void InProcTransport::close(int dst) {
   mailboxes_[static_cast<std::size_t>(dst)]->close();
 }
 
+// --- TrafficRecordingTransport ----------------------------------------------
+
+void TrafficRecordingTransport::post(int src, int dst, std::vector<std::uint8_t> frame) {
+  // The frame type lives at header bytes [6, 8); locally produced frames
+  // always carry a full header, but stay defensive for raw test payloads.
+  const std::uint16_t type =
+      frame.size() >= wire::kHeaderBytes
+          ? static_cast<std::uint16_t>(frame[6] | (std::uint16_t{frame[7]} << 8))
+          : 0;
+  record(src, dst, type, frame.size());
+  inner_.post(src, dst, std::move(frame));
+}
+
+void TrafficRecordingTransport::record(int src, int dst, std::uint16_t type,
+                                       std::uint64_t bytes) {
+  std::lock_guard lock(mutex_);
+  auto& cell = cells_[{src, dst, type}];
+  cell.first += 1;
+  cell.second += bytes;
+}
+
+std::vector<wire::PeerTraffic> TrafficRecordingTransport::take() {
+  std::lock_guard lock(mutex_);
+  std::vector<wire::PeerTraffic> out;
+  out.reserve(cells_.size());
+  for (const auto& [key, cell] : cells_)
+    out.push_back({std::get<0>(key), std::get<1>(key), std::get<2>(key), cell.first,
+                   cell.second});
+  cells_.clear();
+  return out;  // map iteration order == (src, dst, type) order
+}
+
 // --- SocketTransport ---------------------------------------------------------
 
 struct SocketTransport::Peer {

@@ -20,10 +20,13 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "domain/channel.hpp"
@@ -63,6 +66,35 @@ class InProcTransport final : public Transport {
 
  private:
   std::vector<std::unique_ptr<Channel<std::vector<std::uint8_t>>>> mailboxes_;
+};
+
+// Send-side traffic accounting decorator: every post() is recorded into a
+// per-(src, dst, frame type) frames/bytes matrix — the data behind the step
+// report's traffic section — and forwarded to the inner transport. recv()
+// and close() pass through untouched; counting sends only means summing the
+// matrix over endpoints never double-counts a frame. record() is public so a
+// driver can also account frames it *receives* from endpoints that run no
+// recorder of their own (the cluster coordinator books worker StepResults
+// this way). Thread-safe: concurrent rank pipelines post through one
+// recorder.
+class TrafficRecordingTransport final : public Transport {
+ public:
+  explicit TrafficRecordingTransport(Transport& inner) : inner_(inner) {}
+
+  void post(int src, int dst, std::vector<std::uint8_t> frame) override;
+  std::optional<std::vector<std::uint8_t>> recv(int dst) override { return inner_.recv(dst); }
+  void close(int dst) override { inner_.close(dst); }
+
+  void record(int src, int dst, std::uint16_t type, std::uint64_t bytes);
+
+  // Drain the accumulated matrix, sorted by (src, dst, type).
+  std::vector<wire::PeerTraffic> take();
+
+ private:
+  Transport& inner_;
+  std::mutex mutex_;
+  std::map<std::tuple<int, int, std::uint16_t>, std::pair<std::uint64_t, std::uint64_t>>
+      cells_;
 };
 
 // Localhost TCP star: create with listen() on the coordinator (local

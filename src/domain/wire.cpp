@@ -1,7 +1,9 @@
 #include "domain/wire.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cstring>
+#include <tuple>
 
 #include "util/check.hpp"
 
@@ -268,6 +270,38 @@ ParticleBatch read_particle_payload(Reader& r) {
 
 }  // namespace
 
+const char* frame_type_name(FrameType type) {
+  switch (type) {
+    case FrameType::kLet: return "Let";
+    case FrameType::kParticles: return "Particles";
+    case FrameType::kHello: return "Hello";
+    case FrameType::kConfig: return "Config";
+    case FrameType::kStepBegin: return "StepBegin";
+    case FrameType::kStepResult: return "StepResult";
+    case FrameType::kShutdown: return "Shutdown";
+    case FrameType::kBoundaries: return "Boundaries";
+    case FrameType::kKeySamples: return "KeySamples";
+    case FrameType::kMigration: return "Migration";
+  }
+  return "Unknown";
+}
+
+void merge_traffic(std::vector<PeerTraffic>& into, std::span<const PeerTraffic> add) {
+  const auto key = [](const PeerTraffic& t) { return std::tie(t.src, t.dst, t.type); };
+  for (const PeerTraffic& t : add) {
+    auto it = std::lower_bound(into.begin(), into.end(), t,
+                               [&](const PeerTraffic& a, const PeerTraffic& b) {
+                                 return key(a) < key(b);
+                               });
+    if (it != into.end() && key(*it) == key(t)) {
+      it->frames += t.frames;
+      it->bytes += t.bytes;
+    } else {
+      into.insert(it, t);
+    }
+  }
+}
+
 FrameType frame_type(std::span<const std::uint8_t> frame) {
   if (frame.size() < kHeaderBytes) throw WireError("wire decode: frame shorter than header");
   Reader r(frame);
@@ -362,6 +396,7 @@ std::vector<std::uint8_t> encode_config(const SimConfig& cfg) {
   w.u8(cfg.curve == sfc::CurveType::kMorton ? 1 : 0);
   w.u64(cfg.samples_per_rank);
   w.i32(cfg.snap_level);
+  w.u8(cfg.balance == BalanceMode::kCost ? 1 : 0);
   return w.finish();
 }
 
@@ -378,6 +413,7 @@ SimConfig decode_config(std::span<const std::uint8_t> frame) {
   cfg.curve = r.u8() != 0 ? sfc::CurveType::kMorton : sfc::CurveType::kHilbert;
   cfg.samples_per_rank = r.u64();
   cfg.snap_level = r.i32();
+  cfg.balance = r.u8() != 0 ? BalanceMode::kCost : BalanceMode::kCount;
   r.done();
   r.require(cfg.nranks >= 1 && cfg.nranks <= 255, "config rank count out of range");
   return cfg;
@@ -387,6 +423,7 @@ std::vector<std::uint8_t> encode_step_begin(const StepBegin& sb) {
   BONSAI_CHECK(sb.active.size() == sb.boxes.size());
   Writer w(FrameType::kStepBegin);
   w.i32(sb.step);
+  w.u8(static_cast<std::uint8_t>(sb.mode));
   w.aabb(sb.bounds);
   w.u32(static_cast<std::uint32_t>(sb.active.size()));
   for (const std::uint8_t a : sb.active) w.u8(a != 0 ? 1 : 0);
@@ -399,6 +436,9 @@ StepBegin decode_step_begin(std::span<const std::uint8_t> frame) {
   Reader r = open_frame(frame, FrameType::kStepBegin);
   StepBegin sb;
   sb.step = r.i32();
+  const std::uint8_t mode = r.u8();
+  r.require(mode <= static_cast<std::uint8_t>(StepMode::kCollect), "unknown step mode");
+  sb.mode = static_cast<StepMode>(mode);
   sb.bounds = r.aabb();
   const std::size_t nranks =
       r.array_count(r.u32(), 1 + 6 * 8, "rank count exceeds payload");
@@ -413,6 +453,92 @@ StepBegin decode_step_begin(std::span<const std::uint8_t> frame) {
   return sb;
 }
 
+std::vector<std::uint8_t> encode_boundaries(const Boundaries& b) {
+  Writer w(FrameType::kBoundaries);
+  w.i32(b.src);
+  w.i32(b.step);
+  w.u8(b.post_migration ? 1 : 0);
+  w.u64(b.count);
+  w.aabb(b.box);
+  w.f64(b.weight);
+  return w.finish();
+}
+
+Boundaries decode_boundaries(std::span<const std::uint8_t> frame) {
+  Reader r = open_frame(frame, FrameType::kBoundaries);
+  Boundaries b;
+  b.src = r.i32();
+  b.step = r.i32();
+  const std::uint8_t phase = r.u8();
+  r.require(phase <= 1, "unknown boundaries phase");
+  b.post_migration = phase != 0;
+  b.count = r.u64();
+  b.box = r.aabb();
+  b.weight = r.f64();
+  r.done();
+  return b;
+}
+
+std::vector<std::uint8_t> encode_key_samples(const KeySamples& ks) {
+  Writer w(FrameType::kKeySamples);
+  w.i32(ks.src);
+  w.i32(ks.step);
+  w.u64(ks.keys.size());
+  w.u64_span(ks.keys);
+  return w.finish();
+}
+
+KeySamples decode_key_samples(std::span<const std::uint8_t> frame) {
+  Reader r = open_frame(frame, FrameType::kKeySamples);
+  KeySamples ks;
+  ks.src = r.i32();
+  ks.step = r.i32();
+  const std::size_t n = r.array_count(r.u64(), 8, "sample count exceeds payload");
+  ks.keys.resize(n);
+  r.u64_span(ks.keys);
+  r.done();
+  return ks;
+}
+
+std::vector<std::uint8_t> encode_migration(int src, int step, const ParticleSet& parts) {
+  Writer w(FrameType::kMigration);
+  w.i32(step);
+  put_particle_payload(w, src, parts, /*with_forces=*/false);
+  return w.finish();
+}
+
+MigrationMsg decode_migration(std::span<const std::uint8_t> frame) {
+  Reader r = open_frame(frame, FrameType::kMigration);
+  MigrationMsg msg;
+  msg.step = r.i32();
+  ParticleBatch batch = read_particle_payload(r);
+  r.require(!batch.with_forces, "migration batches must travel force-free");
+  msg.src = batch.src;
+  msg.parts = std::move(batch.parts);
+  r.done();
+  return msg;
+}
+
+namespace {
+
+void put_wire_stats(Writer& w, const WireStats& ws) {
+  w.u64(ws.frames);
+  w.u64(ws.bytes);
+  w.f64(ws.encode_seconds);
+  w.f64(ws.decode_seconds);
+}
+
+WireStats read_wire_stats(Reader& r) {
+  WireStats ws;
+  ws.frames = r.u64();
+  ws.bytes = r.u64();
+  ws.encode_seconds = r.f64();
+  ws.decode_seconds = r.f64();
+  return ws;
+}
+
+}  // namespace
+
 std::vector<std::uint8_t> encode_step_result(const StepResult& sr) {
   Writer w(FrameType::kStepResult);
   w.i32(sr.rank);
@@ -422,6 +548,10 @@ std::vector<std::uint8_t> encode_step_result(const StepResult& sr) {
   w.u64(sr.local_stats.p2c);
   w.u64(sr.remote_stats.p2p);
   w.u64(sr.remote_stats.p2c);
+  w.u64(sr.migrated);
+  w.u64(sr.local_count);
+  w.f64(sr.kinetic);
+  w.f64(sr.potential);
   w.u32(static_cast<std::uint32_t>(sr.times.entries().size()));
   for (const auto& e : sr.times.entries()) {
     w.u32(static_cast<std::uint32_t>(e.name.size()));
@@ -434,10 +564,19 @@ std::vector<std::uint8_t> encode_step_result(const StepResult& sr) {
     w.u64(s.particles);
     w.u64(s.bytes);
   }
-  w.u64(sr.let_wire.frames);
-  w.u64(sr.let_wire.bytes);
-  w.f64(sr.let_wire.encode_seconds);
-  w.f64(sr.let_wire.decode_seconds);
+  put_wire_stats(w, sr.let_wire);
+  put_wire_stats(w, sr.part_wire);
+  put_wire_stats(w, sr.dom_wire);
+  w.u32(static_cast<std::uint32_t>(sr.boundaries.size()));
+  w.u64_span(sr.boundaries);
+  w.u32(static_cast<std::uint32_t>(sr.traffic.size()));
+  for (const PeerTraffic& t : sr.traffic) {
+    w.i32(t.src);
+    w.i32(t.dst);
+    w.u16(t.type);
+    w.u64(t.frames);
+    w.u64(t.bytes);
+  }
   put_particle_payload(w, sr.rank, sr.parts, /*with_forces=*/true);
   return w.finish();
 }
@@ -452,6 +591,10 @@ StepResult decode_step_result(std::span<const std::uint8_t> frame) {
   sr.local_stats.p2c = r.u64();
   sr.remote_stats.p2p = r.u64();
   sr.remote_stats.p2c = r.u64();
+  sr.migrated = r.u64();
+  sr.local_count = r.u64();
+  sr.kinetic = r.f64();
+  sr.potential = r.f64();
   const std::size_t ntimes = r.array_count(r.u32(), 4 + 8, "timing count exceeds payload");
   for (std::size_t i = 0; i < ntimes; ++i) {
     const std::size_t len = r.array_count(r.u32(), 1, "timing name exceeds payload");
@@ -466,10 +609,22 @@ StepResult decode_step_result(std::span<const std::uint8_t> frame) {
     s.particles = r.u64();
     s.bytes = r.u64();
   }
-  sr.let_wire.frames = r.u64();
-  sr.let_wire.bytes = r.u64();
-  sr.let_wire.encode_seconds = r.f64();
-  sr.let_wire.decode_seconds = r.f64();
+  sr.let_wire = read_wire_stats(r);
+  sr.part_wire = read_wire_stats(r);
+  sr.dom_wire = read_wire_stats(r);
+  const std::size_t nbounds = r.array_count(r.u32(), 8, "boundary count exceeds payload");
+  sr.boundaries.resize(nbounds);
+  r.u64_span(sr.boundaries);
+  const std::size_t ntraffic =
+      r.array_count(r.u32(), 4 + 4 + 2 + 8 + 8, "traffic count exceeds payload");
+  sr.traffic.resize(ntraffic);
+  for (PeerTraffic& t : sr.traffic) {
+    t.src = r.i32();
+    t.dst = r.i32();
+    t.type = r.u16();
+    t.frames = r.u64();
+    t.bytes = r.u64();
+  }
   ParticleBatch batch = read_particle_payload(r);
   r.require(batch.with_forces, "step-result batch must carry forces");
   sr.parts = std::move(batch.parts);

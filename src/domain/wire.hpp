@@ -31,18 +31,24 @@ namespace bonsai::domain::wire {
 
 // Frame header constants. The magic bytes spell "BNSW" on the wire.
 inline constexpr std::uint32_t kMagic = 0x57534E42u;
-inline constexpr std::uint16_t kVersion = 1;
+inline constexpr std::uint16_t kVersion = 2;
 inline constexpr std::size_t kHeaderBytes = 16;
 
 enum class FrameType : std::uint16_t {
   kLet = 1,        // one rank's LET for one remote rank
-  kParticles = 2,  // particle-migration batch (alltoallv cell)
+  kParticles = 2,  // particle batch (hub migration cell, gather reply)
   kHello = 3,      // worker -> coordinator: rank id announcement
   kConfig = 4,     // coordinator -> worker: simulation parameters
-  kStepBegin = 5,  // coordinator -> worker: step inputs + particle batch
-  kStepResult = 6, // worker -> coordinator: forces, timings, stats
+  kStepBegin = 5,  // coordinator -> worker: step inputs (+ batch in hub mode)
+  kStepResult = 6, // worker -> coordinator: timings, stats (+ batch in hub mode)
   kShutdown = 7,   // coordinator -> worker: exit cleanly
+  kBoundaries = 8, // SPMD allgather: one rank's local bounds/population/weight
+  kKeySamples = 9, // SPMD allgather: one rank's sampled SFC keys
+  kMigration = 10, // SPMD peer-to-peer: owner-changing particles (alltoallv cell)
 };
+
+// Human-readable frame type name for reports ("Let", "Migration", ...).
+const char* frame_type_name(FrameType type);
 
 // Malformed/truncated/mismatched frame. Decoders throw this (and only this)
 // for any byte-level problem.
@@ -79,6 +85,22 @@ struct LetSizeSample {
   std::uint64_t bytes = 0;
 };
 
+// One cell of the per-peer traffic matrix: frames/bytes posted from `src` to
+// `dst` of one frame type. Sent-side accounting only, so summing cells never
+// double-counts a frame; the step report and --bench JSON carry the matrix
+// to make hub-vs-SPMD traffic directly comparable.
+struct PeerTraffic {
+  int src = 0;
+  int dst = 0;
+  std::uint16_t type = 0;  // FrameType as its wire value
+  std::uint64_t frames = 0;
+  std::uint64_t bytes = 0;
+};
+
+// Merge `add` into `into`, summing cells with equal (src, dst, type) and
+// keeping the result sorted by that key.
+void merge_traffic(std::vector<PeerTraffic>& into, std::span<const PeerTraffic> add);
+
 // One LET in flight from rank `src`, carrying the sender-side extraction cost
 // so the schedule model can reconstruct when the message could have arrived,
 // and (after decode) the encoded frame size for the LET size histogram.
@@ -114,11 +136,24 @@ int decode_hello(std::span<const std::uint8_t> frame);
 std::vector<std::uint8_t> encode_config(const SimConfig& cfg);
 SimConfig decode_config(std::span<const std::uint8_t> frame);
 
-// Everything a worker needs to run one step: the global key-space bounds
-// (raw, pre-inflation, so KeySpace reconstructs bit-identically), the active
-// set, every rank's domain box, and the worker's particle batch.
+// What a StepBegin asks the worker to do (the hub/SPMD protocol selector).
+enum class StepMode : std::uint8_t {
+  kHub = 0,            // batch replaces worker state; bounds/active/boxes given
+  kSpmdBootstrap = 1,  // batch seeds the resident state, then run SPMD phases
+  kSpmdStep = 2,       // empty batch: step the resident state via SPMD phases
+  kCollect = 3,        // no step: reply with the resident particles (+forces)
+};
+
+// Everything a worker needs to run one step. In hub mode the coordinator
+// fills everything: the global key-space bounds (raw, pre-inflation, so
+// KeySpace reconstructs bit-identically), the active set, every rank's
+// domain box, and the worker's particle batch. In SPMD modes the frame is a
+// bare step trigger (plus the bootstrap batch on the first step): workers
+// compute bounds/active/boxes themselves from Boundaries/KeySamples
+// allgathers.
 struct StepBegin {
   int step = 0;
+  StepMode mode = StepMode::kHub;
   AABB bounds;
   std::vector<std::uint8_t> active;
   std::vector<AABB> boxes;
@@ -128,16 +163,69 @@ struct StepBegin {
 std::vector<std::uint8_t> encode_step_begin(const StepBegin& sb);
 StepBegin decode_step_begin(std::span<const std::uint8_t> frame);
 
-// A worker's step output: particle state with forces, per-stage timings,
-// interaction/LET statistics, and its serialization accounting.
+// --- SPMD domain frames ------------------------------------------------------
+// One rank's contribution to the distributed domain update, posted to every
+// peer. Pre-migration (phase 1) it carries the local particle bounds, the
+// population and the rank's cost weight (measured gravity seconds per
+// particle last step; 0 outside cost balancing) — enough for every rank to
+// build the identical global KeySpace, sample stride and weight vector.
+// Post-migration (phase 4) the same frame re-announces the rank's new
+// population and tight box, which is what peers build LETs against.
+struct Boundaries {
+  int src = -1;
+  int step = 0;
+  bool post_migration = false;
+  std::uint64_t count = 0;  // local population (0: box is default/invalid)
+  AABB box;
+  double weight = 0.0;
+};
+
+std::vector<std::uint8_t> encode_boundaries(const Boundaries& b);
+Boundaries decode_boundaries(std::span<const std::uint8_t> frame);
+
+// One rank's sampled SFC keys (phase 2): pooled in rank order by every
+// receiver, so all ranks cut the identical Decomposition.
+struct KeySamples {
+  int src = -1;
+  int step = 0;
+  std::vector<sfc::Key> keys;
+};
+
+std::vector<std::uint8_t> encode_key_samples(const KeySamples& ks);
+KeySamples decode_key_samples(std::span<const std::uint8_t> frame);
+
+// One (src, dst) cell of the SPMD particle alltoallv (phase 3): the
+// particles of `src` whose new owner is the destination rank. Always
+// force-free — forces are recomputed every step.
+struct MigrationMsg {
+  int src = -1;
+  int step = 0;
+  ParticleSet parts;
+};
+
+std::vector<std::uint8_t> encode_migration(int src, int step, const ParticleSet& parts);
+MigrationMsg decode_migration(std::span<const std::uint8_t> frame);
+
+// A worker's step output: per-stage timings, interaction/LET statistics,
+// serialization accounting, the local population/energy summary, and — in
+// hub mode only — the particle state with forces (SPMD workers keep their
+// particles resident and ship an empty batch). `boundaries` carries the
+// Decomposition an SPMD worker computed so the coordinator can cross-check
+// that all workers derived the identical partition.
 struct StepResult {
   int rank = -1;
   std::uint64_t let_cells = 0;
   std::uint64_t let_particles = 0;
   InteractionStats local_stats, remote_stats;
+  std::uint64_t migrated = 0;     // emigrants this rank posted (SPMD)
+  std::uint64_t local_count = 0;  // resident population after the step
+  double kinetic = 0.0;           // local kinetic-energy partial sum
+  double potential = 0.0;         // local potential-energy partial sum
   TimeBreakdown times;
   std::vector<LetSizeSample> let_sizes;
-  WireStats let_wire;
+  WireStats let_wire, part_wire, dom_wire;
+  std::vector<sfc::Key> boundaries;  // SPMD: computed decomposition bounds
+  std::vector<PeerTraffic> traffic;  // frames this worker posted, per peer/type
   ParticleSet parts;
 };
 

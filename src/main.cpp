@@ -48,6 +48,9 @@ void register_flags(bonsai::CommandLine& cli) {
   cli.add_switch("validate", "compare forces vs 1-rank run and direct summation");
   cli.add_option("transport", "KIND",
                  "inproc | socket: where ranks live (default inproc)");
+  cli.add_option("cluster", "MODE",
+                 "hub | spmd: socket cluster style — coordinator-owned state "
+                 "vs resident particles + peer migration (default hub)");
   cli.add_option("port", "P", "socket coordinator listen port (default: ephemeral)");
   cli.add_switch("no-spawn",
                  "socket coordinator: wait for externally launched workers");
@@ -175,6 +178,14 @@ int main(int argc, char** argv) {
                              "'");
     const bool socket_mode = transport == "socket";
 
+    const std::string cluster = cli.get("cluster", "hub");
+    if (cluster != "hub" && cluster != "spmd")
+      throw bonsai::CliError("--cluster: expected hub or spmd, got '" + cluster + "'");
+    if (cli.has("cluster") && !socket_mode)
+      throw bonsai::CliError(
+          "--cluster applies to --transport socket (in-process ranks are "
+          "already resident)");
+
     if (cli.has("rank-id")) {
       if (!socket_mode)
         throw bonsai::CliError("--rank-id only applies to --transport socket workers");
@@ -225,13 +236,16 @@ int main(int argc, char** argv) {
       bonsai::domain::ClusterConfig ccfg;
       ccfg.sim = cfg;
       if (validate) ccfg.sim.dt = 0.0;  // forces-only comparison
+      ccfg.mode = cluster == "spmd" ? bonsai::domain::ClusterMode::kSpmd
+                                    : bonsai::domain::ClusterMode::kHub;
       ccfg.port = static_cast<std::uint16_t>(port);
       ccfg.spawn_workers = !cli.get_bool("no-spawn", false);
       ccfg.program = argv[0];
       ccfg.worker_threads = cfg.threads_per_rank;
       bonsai::domain::ClusterSimulation sim(ccfg);
-      std::cout << "cluster: coordinator on 127.0.0.1:" << sim.port() << " driving "
-                << cfg.nranks << (ccfg.spawn_workers ? " spawned" : " external")
+      std::cout << "cluster: " << cluster << " coordinator on 127.0.0.1:" << sim.port()
+                << " driving " << cfg.nranks
+                << (ccfg.spawn_workers ? " spawned" : " external")
                 << " worker process(es)\n";
       return validate ? run_validation(sim, ccfg.sim, initial, bench_path)
                       : run_steps(sim, initial, steps, bench_path);

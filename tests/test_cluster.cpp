@@ -1,0 +1,242 @@
+// Cluster-mode correctness: the hub and SPMD socket drivers against the
+// in-process Simulation. Workers run as in-process threads speaking the real
+// socket protocol (the on_listen seam hands them the coordinator's ephemeral
+// port), so these tests exercise the genuine wire path — demux, allgathers,
+// peer migration, LET routing — without fixed ports or child processes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "domain/cluster.hpp"
+#include "domain/simulation.hpp"
+#include "util/compare.hpp"
+#include "util/ic.hpp"
+
+namespace bonsai {
+namespace {
+
+using domain::ClusterConfig;
+using domain::ClusterMode;
+using domain::ClusterSimulation;
+using domain::SimConfig;
+namespace wire = domain::wire;
+
+// Joins the worker threads after the coordinator under test destructs (and
+// has therefore posted Shutdown) — declare the pool before the simulation.
+struct WorkerPool {
+  std::vector<std::thread> threads;
+  ~WorkerPool() {
+    for (std::thread& t : threads)
+      if (t.joinable()) t.join();
+  }
+};
+
+ClusterConfig cluster_config(const SimConfig& sim, ClusterMode mode, WorkerPool& pool) {
+  ClusterConfig cfg;
+  cfg.sim = sim;
+  cfg.mode = mode;
+  cfg.spawn_workers = false;
+  const int nranks = sim.nranks;
+  cfg.on_listen = [&pool, nranks](std::uint16_t port) {
+    for (int r = 0; r < nranks; ++r)
+      pool.threads.emplace_back([port, r] {
+        try {
+          domain::run_worker("127.0.0.1", port, r, /*threads=*/1);
+        } catch (...) {
+          // Teardown races surface as socket errors inside the worker; the
+          // coordinator-side assertions are the test.
+        }
+      });
+  };
+  return cfg;
+}
+
+SimConfig forces_only_config(int nranks) {
+  SimConfig cfg;
+  cfg.nranks = nranks;
+  cfg.theta = 0.4;
+  cfg.eps = 1e-3;
+  cfg.dt = 0.0;
+  return cfg;
+}
+
+std::uint64_t traffic_bytes(const domain::StepReport& rep, wire::FrameType type) {
+  std::uint64_t bytes = 0;
+  for (const wire::PeerTraffic& t : rep.traffic)
+    if (t.type == static_cast<std::uint16_t>(type)) bytes += t.bytes;
+  return bytes;
+}
+
+std::uint64_t traffic_frames(const domain::StepReport& rep, wire::FrameType type) {
+  std::uint64_t frames = 0;
+  for (const wire::PeerTraffic& t : rep.traffic)
+    if (t.type == static_cast<std::uint16_t>(type)) frames += t.frames;
+  return frames;
+}
+
+TEST(ClusterSpmd, ReproducesInProcDecompositionAndForces) {
+  const ParticleSet global = make_plummer(1200, 77);
+  const SimConfig cfg = forces_only_config(3);
+
+  domain::Simulation inproc(cfg);
+  inproc.init(global);
+  const domain::StepReport in_rep = inproc.step();
+  const ParticleSet in_got = inproc.gather();
+
+  WorkerPool pool;
+  ClusterSimulation spmd(cluster_config(cfg, ClusterMode::kSpmd, pool));
+  spmd.init(global);
+  const domain::StepReport sp_rep = spmd.step();
+  const ParticleSet sp_got = spmd.gather();
+
+  // The distributed sampling must cut the *identical* partition the
+  // centralized update computes (same pooled samples, same arithmetic), and
+  // the coordinator's cross-check must have accepted it from every worker.
+  const auto in_bounds = inproc.decomposition().boundaries();
+  const auto sp_bounds = spmd.decomposition().boundaries();
+  ASSERT_EQ(in_bounds.size(), sp_bounds.size());
+  for (std::size_t i = 0; i < in_bounds.size(); ++i)
+    EXPECT_EQ(in_bounds[i], sp_bounds[i]) << "boundary " << i;
+
+  EXPECT_EQ(sp_rep.num_particles, in_rep.num_particles);
+  EXPECT_EQ(sp_rep.migrated, in_rep.migrated);
+  EXPECT_EQ(sp_rep.let_cells, in_rep.let_cells);
+  EXPECT_EQ(sp_rep.let_particles, in_rep.let_particles);
+
+  // Identical decomposition + identical per-rank walks; only the remote-LET
+  // accumulation order (arrival order) may differ, which perturbs forces at
+  // rounding level — far below the ~1e-6 rank-boundary MAC error.
+  ASSERT_EQ(sp_got.size(), in_got.size());
+  EXPECT_LT(median_acc_error(sp_got, in_got), 1e-9);
+
+  // Aggregated worker energy partials agree with the in-process sums.
+  EXPECT_NEAR(spmd.kinetic_energy(), inproc.kinetic_energy(),
+              1e-9 * std::abs(inproc.kinetic_energy()) + 1e-12);
+  EXPECT_NEAR(spmd.potential_energy(), inproc.potential_energy(),
+              1e-9 * std::abs(inproc.potential_energy()));
+}
+
+TEST(ClusterSpmd, SteadyStateMigrationBytesAreSmallFractionOfHub) {
+  // A drifting Plummer sphere stepped in both cluster modes: after the
+  // bootstrap step, SPMD's Particles-class wire volume (migration cells plus
+  // the now particle-free StepBegin/StepResult frames) must collapse to a
+  // small fraction of hub mode's O(N) per-step batches.
+  const std::size_t n = 1000;
+  const ParticleSet global = make_plummer(n, 5);
+  SimConfig cfg = forces_only_config(2);
+  cfg.dt = 1e-3;
+
+  std::vector<domain::StepReport> hub_reps, spmd_reps;
+  {
+    WorkerPool pool;
+    ClusterSimulation hub(cluster_config(cfg, ClusterMode::kHub, pool));
+    hub.init(global);
+    for (int s = 0; s < 3; ++s) hub_reps.push_back(hub.step());
+  }
+  {
+    WorkerPool pool;
+    ClusterSimulation spmd(cluster_config(cfg, ClusterMode::kSpmd, pool));
+    spmd.init(global);
+    for (int s = 0; s < 3; ++s) spmd_reps.push_back(spmd.step());
+  }
+
+  for (int s = 0; s < 3; ++s) {
+    EXPECT_EQ(hub_reps[s].num_particles, n);
+    EXPECT_EQ(spmd_reps[s].num_particles, n);
+  }
+  // Hub ships every particle out and back every step; resident SPMD ships
+  // only boundary crossers once warm. The issue's acceptance bar is < 25%;
+  // in practice the ratio sits around 1%.
+  for (int s = 1; s < 3; ++s) {
+    EXPECT_LT(spmd_reps[s].part_wire.bytes, hub_reps[s].part_wire.bytes / 4)
+        << "step " << s;
+    EXPECT_GT(hub_reps[s].part_wire.bytes, n * 100);  // O(N) both directions
+  }
+  // The domain allgathers are the price of decentralization: bounded by
+  // samples, not by N.
+  for (int s = 0; s < 3; ++s) EXPECT_GT(spmd_reps[s].dom_wire.frames, 0u);
+}
+
+TEST(ClusterSpmd, TrafficMatrixCoversTheProtocol) {
+  const ParticleSet global = make_plummer(600, 13);
+  SimConfig cfg = forces_only_config(3);
+  cfg.dt = 1e-3;
+  const std::uint64_t nranks = 3;
+
+  WorkerPool pool;
+  ClusterSimulation spmd(cluster_config(cfg, ClusterMode::kSpmd, pool));
+  spmd.init(global);
+  spmd.step();
+  const domain::StepReport rep = spmd.step();  // steady state
+
+  // Every worker posts one Migration frame to each peer and two Boundaries
+  // allgather rounds; the coordinator posts one StepBegin per worker and
+  // books one StepResult per worker on receive.
+  EXPECT_EQ(traffic_frames(rep, wire::FrameType::kMigration), nranks * (nranks - 1));
+  EXPECT_EQ(traffic_frames(rep, wire::FrameType::kBoundaries), 2 * nranks * (nranks - 1));
+  EXPECT_EQ(traffic_frames(rep, wire::FrameType::kKeySamples), nranks * (nranks - 1));
+  EXPECT_EQ(traffic_frames(rep, wire::FrameType::kStepBegin), nranks);
+  EXPECT_EQ(traffic_frames(rep, wire::FrameType::kStepResult), nranks);
+  // No O(N) Particles frames in an SPMD steady-state step.
+  EXPECT_EQ(traffic_frames(rep, wire::FrameType::kParticles), 0u);
+  // The matrix and the wire summaries account the same LET volume.
+  EXPECT_EQ(traffic_bytes(rep, wire::FrameType::kLet), rep.let_wire.bytes);
+}
+
+TEST(ClusterSpmd, MultiStepDriftPreservesPopulationAndForces) {
+  const std::size_t n = 800;
+  const ParticleSet global = make_plummer(n, 29);
+  SimConfig cfg = forces_only_config(2);
+  cfg.dt = 2e-3;
+
+  WorkerPool pool;
+  ClusterSimulation spmd(cluster_config(cfg, ClusterMode::kSpmd, pool));
+  spmd.init(global);
+  std::uint64_t migrated_total = 0;
+  for (int s = 0; s < 4; ++s) {
+    const domain::StepReport rep = spmd.step();
+    EXPECT_EQ(rep.num_particles, n);
+    migrated_total += rep.migrated;
+  }
+  EXPECT_EQ(spmd.num_particles(), n);
+
+  const ParticleSet got = spmd.gather();
+  ASSERT_EQ(got.size(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(got.id[i], i);  // ids unique and complete after migrations
+    ASSERT_TRUE(std::isfinite(got.ax[i]) && std::isfinite(got.ay[i]) &&
+                std::isfinite(got.az[i]) && std::isfinite(got.pot[i]));
+  }
+  (void)migrated_total;  // any value is legal; population checks are the bar
+}
+
+TEST(ClusterHub, StillMatchesInProcForces) {
+  // Differential guard: the hub driver must keep working unchanged next to
+  // the SPMD path (it shares the worker loop and the report plumbing).
+  const ParticleSet global = make_plummer(900, 3);
+  const SimConfig cfg = forces_only_config(2);
+
+  domain::Simulation inproc(cfg);
+  inproc.init(global);
+  inproc.step();
+  const ParticleSet in_got = inproc.gather();
+
+  WorkerPool pool;
+  ClusterSimulation hub(cluster_config(cfg, ClusterMode::kHub, pool));
+  hub.init(global);
+  const domain::StepReport rep = hub.step();
+  const ParticleSet hub_got = hub.gather();
+
+  ASSERT_EQ(hub_got.size(), in_got.size());
+  EXPECT_LT(median_acc_error(hub_got, in_got), 1e-9);
+  // Hub mode's per-step Particles-class volume stays O(N): the StepBegin /
+  // StepResult frames carry the full population.
+  EXPECT_GT(rep.part_wire.bytes, global.size() * 100);
+}
+
+}  // namespace
+}  // namespace bonsai

@@ -9,11 +9,14 @@
 #include <numeric>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "domain/channel.hpp"
 #include "domain/decomposition.hpp"
 #include "domain/let.hpp"
 #include "domain/simulation.hpp"
+#include "domain/transport.hpp"
 #include "tree/direct.hpp"
 #include "tree/octree.hpp"
 #include "tree/traverse.hpp"
@@ -155,6 +158,85 @@ TEST(Exchange, OwnershipAndBitForBitConservation) {
   }
   EXPECT_EQ(mass_before, mass_after);  // identical summands, identical order
   EXPECT_EQ(mom_before, mom_after);
+}
+
+TEST(Exchange, ResidentPathMatchesCentralizedExchangeBitForBit) {
+  // The SPMD alltoallv cell must reproduce the centralized exchange()
+  // exactly: same per-rank populations, same ordering, same keys. Run all
+  // ranks' resident exchanges concurrently over one transport (posts are
+  // nonblocking, receives block on peers — exactly the worker topology).
+  const std::size_t n = 1500;
+  const int nranks = 4;
+  const ParticleSet global = make_plummer(n, 53);
+  std::vector<ParticleSet> central(nranks), resident(nranks);
+  for (std::size_t i = 0; i < n; ++i) {
+    central[i % nranks].add(global.get(i));
+    resident[i % nranks].add(global.get(i));
+  }
+  sfc::KeySpace space(global.bounds());
+  std::vector<sfc::Key> samples;
+  for (const auto& s : central) {
+    const auto sk = domain::sample_keys(s, space, /*stride=*/3);
+    samples.insert(samples.end(), sk.begin(), sk.end());
+  }
+  const Decomposition d = Decomposition::from_samples(samples, nranks);
+
+  const domain::ExchangeStats central_stats = domain::exchange(central, space, d);
+
+  domain::InProcTransport transport(nranks);
+  domain::MigrationExchange mex(transport, nranks);
+  std::vector<domain::ExchangeStats> stats(nranks);
+  std::vector<std::thread> ranks;
+  for (int r = 0; r < nranks; ++r)
+    ranks.emplace_back([&, r] {
+      stats[static_cast<std::size_t>(r)] = domain::exchange_resident(
+          resident[static_cast<std::size_t>(r)], r, space, d, mex, /*step=*/7);
+    });
+  for (std::thread& t : ranks) t.join();
+
+  std::uint64_t migrated = 0, total = 0;
+  for (int r = 0; r < nranks; ++r) {
+    migrated += stats[static_cast<std::size_t>(r)].migrated;
+    total += stats[static_cast<std::size_t>(r)].total;
+    ASSERT_EQ(resident[r].size(), central[r].size()) << "rank " << r;
+    EXPECT_EQ(resident[r].x, central[r].x);  // bit-for-bit, order included
+    EXPECT_EQ(resident[r].vz, central[r].vz);
+    EXPECT_EQ(resident[r].mass, central[r].mass);
+    EXPECT_EQ(resident[r].id, central[r].id);
+    EXPECT_EQ(resident[r].key, central[r].key);
+  }
+  EXPECT_EQ(migrated, central_stats.migrated);
+  EXPECT_EQ(total, central_stats.total);
+}
+
+TEST(Simulation, TrafficMatrixMatchesWireSummaries) {
+  SimConfig cfg;
+  cfg.nranks = 3;
+  cfg.theta = 0.4;
+  cfg.dt = 1e-3;
+  Simulation sim(cfg);
+  sim.init(make_plummer(900, 37));
+  const domain::StepReport rep = sim.step();
+
+  ASSERT_FALSE(rep.traffic.empty());
+  std::uint64_t let_bytes = 0, let_frames = 0, part_bytes = 0;
+  for (const auto& t : rep.traffic) {
+    EXPECT_GT(t.frames, 0u);
+    if (t.type == static_cast<std::uint16_t>(domain::wire::FrameType::kLet)) {
+      let_bytes += t.bytes;
+      let_frames += t.frames;
+      EXPECT_NE(t.src, t.dst);  // no self-LETs
+    } else if (t.type == static_cast<std::uint16_t>(domain::wire::FrameType::kParticles)) {
+      part_bytes += t.bytes;
+    } else {
+      ADD_FAILURE() << "unexpected in-process frame type " << t.type;
+    }
+  }
+  // Send-side accounting: the matrix and the wire summary rows are two views
+  // of the same posts, so their totals must agree exactly.
+  EXPECT_EQ(let_bytes, rep.let_wire.bytes);
+  EXPECT_EQ(let_frames, rep.let_wire.frames);
+  EXPECT_EQ(part_bytes, rep.part_wire.bytes);
 }
 
 TEST(Let, DistantDomainPrunesToSingleMultipole) {

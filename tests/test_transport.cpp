@@ -1,0 +1,240 @@
+// Transport conformance suite: one parameterized contract check run
+// identically over every Transport backend (InProcTransport and
+// SocketTransport today), so the next backend (MPI) has a ready-made
+// acceptance test. The contract under test is what channel.* and the
+// exchanges are written against:
+//
+//   * post() is nonblocking and frames are delivered to `dst` intact;
+//   * per (src, dst) pair, frames arrive in post order (FIFO);
+//   * frames from concurrent posters all arrive, each source's order kept;
+//   * large frames survive byte-for-byte;
+//   * close() on a local endpoint lets pending frames drain, then recv()
+//     returns nullopt instead of blocking (fail fast, never hang).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "domain/transport.hpp"
+#include "domain/wire.hpp"
+
+namespace bonsai {
+namespace {
+
+namespace wire = domain::wire;
+
+constexpr int kRanks = 3;
+
+// A transport endpoint set under test: at(r) returns the Transport object
+// that owns local endpoint r (one shared object in-process, one per worker
+// over sockets — exactly how production code holds them).
+class Harness {
+ public:
+  virtual ~Harness() = default;
+  virtual domain::Transport& at(int rank) = 0;
+};
+
+class InProcHarness final : public Harness {
+ public:
+  InProcHarness() : t_(kRanks) {}
+  domain::Transport& at(int) override { return t_; }
+
+ private:
+  domain::InProcTransport t_;
+};
+
+class SocketHarness final : public Harness {
+ public:
+  SocketHarness() {
+    coord_ = domain::SocketTransport::listen(0, kRanks);
+    std::vector<std::thread> connectors;
+    workers_.resize(kRanks);
+    for (int r = 0; r < kRanks; ++r)
+      connectors.emplace_back([this, r] {
+        workers_[static_cast<std::size_t>(r)] =
+            domain::SocketTransport::connect("127.0.0.1", coord_->port(), r);
+      });
+    coord_->accept_workers(/*timeout_ms=*/30000);
+    for (std::thread& t : connectors) t.join();
+  }
+
+  domain::Transport& at(int rank) override {
+    return *workers_[static_cast<std::size_t>(rank)];
+  }
+
+ private:
+  std::unique_ptr<domain::SocketTransport> coord_;  // alive to route frames
+  std::vector<std::unique_ptr<domain::SocketTransport>> workers_;
+};
+
+enum class Backend { kInProc, kSocket };
+
+std::unique_ptr<Harness> make_harness(Backend b) {
+  if (b == Backend::kInProc) return std::make_unique<InProcHarness>();
+  return std::make_unique<SocketHarness>();
+}
+
+class TransportConformance : public ::testing::TestWithParam<Backend> {
+ protected:
+  void SetUp() override { h_ = make_harness(GetParam()); }
+  std::unique_ptr<Harness> h_;
+};
+
+// Payload helper: a valid wire frame carrying a recognizable value, so the
+// socket path (which routes on its own header, not the payload) and the
+// in-process path move identical bytes.
+std::vector<std::uint8_t> tagged(int value) { return wire::encode_hello(value); }
+
+int tag_of(const std::vector<std::uint8_t>& frame) { return wire::decode_hello(frame); }
+
+TEST_P(TransportConformance, FifoPerSourceDestinationPair) {
+  for (int i = 0; i < 64; ++i) h_->at(0).post(0, 1, tagged(i));
+  for (int i = 0; i < 64; ++i) {
+    auto frame = h_->at(1).recv(1);
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(tag_of(*frame), i);
+  }
+}
+
+TEST_P(TransportConformance, InterleavedSourcesKeepPerSourceOrder) {
+  // Two sources, one destination: global arrival order is unspecified, but
+  // each source's sequence must stay monotone and nothing may be lost.
+  constexpr int kPerSource = 50;
+  for (int i = 0; i < kPerSource; ++i) {
+    h_->at(0).post(0, 2, tagged(i));
+    h_->at(1).post(1, 2, tagged(1000 + i));
+  }
+  int next0 = 0, next1 = 1000;
+  for (int i = 0; i < 2 * kPerSource; ++i) {
+    auto frame = h_->at(2).recv(2);
+    ASSERT_TRUE(frame.has_value());
+    const int tag = tag_of(*frame);
+    if (tag < 1000) {
+      EXPECT_EQ(tag, next0++);
+    } else {
+      EXPECT_EQ(tag, next1++);
+    }
+  }
+  EXPECT_EQ(next0, kPerSource);
+  EXPECT_EQ(next1, 1000 + kPerSource);
+}
+
+TEST_P(TransportConformance, ConcurrentPostersAllDeliver) {
+  // Concurrent posting threads per source rank; the consumer must see every
+  // frame exactly once with per-source order preserved.
+  constexpr int kPerSource = 200;
+  std::vector<std::thread> posters;
+  for (int src : {0, 1}) {
+    posters.emplace_back([this, src] {
+      for (int i = 0; i < kPerSource; ++i)
+        h_->at(src).post(src, 2, tagged(src * 10000 + i));
+    });
+  }
+  std::vector<int> next = {0, 10000};
+  for (int i = 0; i < 2 * kPerSource; ++i) {
+    auto frame = h_->at(2).recv(2);
+    ASSERT_TRUE(frame.has_value());
+    const int tag = tag_of(*frame);
+    const std::size_t src = tag < 10000 ? 0 : 1;
+    EXPECT_EQ(tag, next[src]++);
+  }
+  for (std::thread& t : posters) t.join();
+  EXPECT_EQ(next[0], kPerSource);
+  EXPECT_EQ(next[1], 10000 + kPerSource);
+}
+
+TEST_P(TransportConformance, LargeFramesArriveIntact) {
+  // A multi-megabyte frame (a dense LET or migration burst) must cross the
+  // backend byte-for-byte; write a full header so traffic recorders can
+  // parse it, then fill the payload with a position-dependent pattern.
+  constexpr std::size_t kPayload = 4u << 20;
+  std::vector<std::uint8_t> frame = wire::encode_hello(7);
+  frame.resize(wire::kHeaderBytes + kPayload);
+  for (std::size_t i = wire::kHeaderBytes; i < frame.size(); ++i)
+    frame[i] = static_cast<std::uint8_t>((i * 131) >> 3);
+  const std::vector<std::uint8_t> sent = frame;
+  h_->at(0).post(0, 1, std::move(frame));
+  auto got = h_->at(1).recv(1);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, sent);
+}
+
+TEST_P(TransportConformance, CloseFailsFastInsteadOfBlocking) {
+  // Deliver (and drain) a frame first so the backend is demonstrably live,
+  // then close the local endpoint: recv() must report completion instead of
+  // blocking forever — the failure paths rely on exactly this.
+  h_->at(0).post(0, 1, tagged(11));
+  auto a = h_->at(1).recv(1);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(tag_of(*a), 11);
+  h_->at(1).close(1);
+  EXPECT_FALSE(h_->at(1).recv(1).has_value());
+  EXPECT_FALSE(h_->at(1).recv(1).has_value());  // idempotent
+}
+
+TEST(InProcTransport, PendingFramesStayReceivableAfterClose) {
+  // The drain-then-complete half of the close contract, checked where frame
+  // arrival is synchronous with post() and therefore deterministic.
+  domain::InProcTransport t(2);
+  t.post(0, 1, tagged(11));
+  t.post(0, 1, tagged(22));
+  t.close(1);
+  auto a = t.recv(1);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(tag_of(*a), 11);
+  auto b = t.recv(1);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(tag_of(*b), 22);
+  EXPECT_FALSE(t.recv(1).has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, TransportConformance,
+                         ::testing::Values(Backend::kInProc, Backend::kSocket),
+                         [](const ::testing::TestParamInfo<Backend>& info) {
+                           return info.param == Backend::kInProc ? "InProc" : "Socket";
+                         });
+
+// The recorder decorator is transport-agnostic; spot-check it over the
+// in-process backend (every backend sees the same frames by construction).
+TEST(TrafficRecordingTransport, RecordsPerPeerPerType) {
+  domain::InProcTransport inner(2);
+  domain::TrafficRecordingTransport rec(inner);
+  rec.post(0, 1, wire::encode_hello(1));
+  rec.post(0, 1, wire::encode_hello(2));
+  rec.post(1, 0, wire::encode_shutdown());
+  rec.record(1, -1, static_cast<std::uint16_t>(wire::FrameType::kStepResult), 64);
+
+  const std::vector<wire::PeerTraffic> t = rec.take();
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t[0].src, 0);
+  EXPECT_EQ(t[0].dst, 1);
+  EXPECT_EQ(t[0].type, static_cast<std::uint16_t>(wire::FrameType::kHello));
+  EXPECT_EQ(t[0].frames, 2u);
+  EXPECT_EQ(t[0].bytes, 2 * wire::encode_hello(1).size());
+  EXPECT_EQ(t[1].src, 1);
+  EXPECT_EQ(t[1].dst, -1);
+  EXPECT_EQ(t[1].frames, 1u);
+  EXPECT_EQ(t[2].type, static_cast<std::uint16_t>(wire::FrameType::kShutdown));
+  EXPECT_TRUE(rec.take().empty());  // drained
+
+  // Frames pass through unmodified.
+  EXPECT_EQ(wire::decode_hello(*inner.recv(1)), 1);
+  EXPECT_EQ(wire::decode_hello(*inner.recv(1)), 2);
+}
+
+TEST(Wire, MergeTrafficSumsMatchingCells) {
+  std::vector<wire::PeerTraffic> into = {{0, 1, 1, 2, 100}, {1, 0, 2, 1, 50}};
+  const std::vector<wire::PeerTraffic> add = {{0, 1, 1, 3, 200}, {2, 0, 1, 1, 10}};
+  wire::merge_traffic(into, add);
+  ASSERT_EQ(into.size(), 3u);
+  EXPECT_EQ(into[0].frames, 5u);
+  EXPECT_EQ(into[0].bytes, 300u);
+  EXPECT_EQ(into[1].src, 1);
+  EXPECT_EQ(into[2].src, 2);
+  EXPECT_EQ(into[2].bytes, 10u);
+}
+
+}  // namespace
+}  // namespace bonsai

@@ -193,6 +193,208 @@ TEST(Wire, EveryByteFlipEitherDecodesOrThrowsWireError) {
   }
 }
 
+TEST(Wire, VersionMismatchNamesBothVersions) {
+  std::vector<std::uint8_t> frame = wire::encode_hello(1);
+  frame[4] = static_cast<std::uint8_t>(wire::kVersion + 1);  // version LE low byte
+  try {
+    wire::frame_type(frame);
+    FAIL() << "version mismatch must throw";
+  } catch (const wire::WireError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("got " + std::to_string(wire::kVersion + 1)), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("expected " + std::to_string(wire::kVersion)), std::string::npos)
+        << what;
+  }
+}
+
+TEST(Wire, BoundariesRoundTripsBothPhases) {
+  wire::Boundaries pre;
+  pre.src = 3;
+  pre.step = 17;
+  pre.post_migration = false;
+  pre.count = 4096;
+  pre.box = {{-1.5, -2.5, -3.5}, {1.25, 2.25, 3.25}};
+  pre.weight = 1.75e-6;
+  const wire::Boundaries back = wire::decode_boundaries(wire::encode_boundaries(pre));
+  EXPECT_EQ(back.src, 3);
+  EXPECT_EQ(back.step, 17);
+  EXPECT_FALSE(back.post_migration);
+  EXPECT_EQ(back.count, 4096u);
+  EXPECT_EQ(back.box.lo.x, -1.5);
+  EXPECT_EQ(back.box.hi.z, 3.25);
+  EXPECT_EQ(back.weight, 1.75e-6);  // bit-for-bit
+
+  wire::Boundaries post;
+  post.src = 0;
+  post.step = 17;
+  post.post_migration = true;
+  post.count = 0;  // empty rank: default (invalid) box must survive
+  const wire::Boundaries pback = wire::decode_boundaries(wire::encode_boundaries(post));
+  EXPECT_TRUE(pback.post_migration);
+  EXPECT_EQ(pback.count, 0u);
+  EXPECT_FALSE(pback.box.valid());
+}
+
+TEST(Wire, KeySamplesRoundTripBitForBit) {
+  wire::KeySamples ks;
+  ks.src = 2;
+  ks.step = 5;
+  for (std::uint64_t i = 0; i < 1000; ++i) ks.keys.push_back(i * 0x9E3779B97F4A7C15ull);
+  const wire::KeySamples back = wire::decode_key_samples(wire::encode_key_samples(ks));
+  EXPECT_EQ(back.src, 2);
+  EXPECT_EQ(back.step, 5);
+  EXPECT_EQ(back.keys, ks.keys);
+
+  // An empty rank contributes an empty sample set.
+  const wire::KeySamples empty = wire::decode_key_samples(
+      wire::encode_key_samples({4, 9, {}}));
+  EXPECT_EQ(empty.src, 4);
+  EXPECT_TRUE(empty.keys.empty());
+}
+
+TEST(Wire, MigrationRoundTripsBitForBitAndForceFree) {
+  ParticleSet parts = make_plummer(64, 19);
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    parts.key[i] = 13 * i + 7;
+    parts.ax[i] = 5.0;  // forces must not travel
+  }
+  const wire::MigrationMsg msg =
+      wire::decode_migration(wire::encode_migration(1, 23, parts));
+  EXPECT_EQ(msg.src, 1);
+  EXPECT_EQ(msg.step, 23);
+  EXPECT_EQ(msg.parts.x, parts.x);
+  EXPECT_EQ(msg.parts.vz, parts.vz);
+  EXPECT_EQ(msg.parts.mass, parts.mass);
+  EXPECT_EQ(msg.parts.id, parts.id);
+  EXPECT_EQ(msg.parts.key, parts.key);
+  for (std::size_t i = 0; i < msg.parts.size(); ++i) EXPECT_EQ(msg.parts.ax[i], 0.0);
+
+  const wire::MigrationMsg empty =
+      wire::decode_migration(wire::encode_migration(0, 1, ParticleSet{}));
+  EXPECT_EQ(empty.parts.size(), 0u);
+}
+
+TEST(Wire, SpmdFramesRejectTruncationAtEveryLength) {
+  wire::KeySamples ks{1, 2, {10, 20, 30, 40}};
+  wire::Boundaries b;
+  b.src = 1;
+  b.count = 7;
+  const std::vector<std::vector<std::uint8_t>> frames = {
+      wire::encode_boundaries(b),
+      wire::encode_key_samples(ks),
+      wire::encode_migration(0, 3, make_plummer(16, 1)),
+  };
+  for (const auto& frame : frames) {
+    for (std::size_t len = 0; len < frame.size(); ++len) {
+      const std::vector<std::uint8_t> cut(
+          frame.begin(), frame.begin() + static_cast<std::ptrdiff_t>(len));
+      switch (wire::FrameType{frame[6]}) {
+        case wire::FrameType::kBoundaries:
+          EXPECT_THROW(wire::decode_boundaries(cut), wire::WireError) << len;
+          break;
+        case wire::FrameType::kKeySamples:
+          EXPECT_THROW(wire::decode_key_samples(cut), wire::WireError) << len;
+          break;
+        default:
+          EXPECT_THROW(wire::decode_migration(cut), wire::WireError) << len;
+          break;
+      }
+    }
+  }
+}
+
+TEST(Wire, SpmdFrameByteFlipsEitherDecodeOrThrow) {
+  // Exhaustive single-byte corruption over the three SPMD frames: decode
+  // must never crash, hang or read out of bounds — it throws WireError or
+  // yields a structurally valid value (flips inside f64/key payloads are
+  // indistinguishable from data).
+  {
+    wire::Boundaries b;
+    b.src = 2;
+    b.step = 4;
+    b.count = 123;
+    b.box = {{-1, -1, -1}, {1, 1, 1}};
+    const std::vector<std::uint8_t> frame = wire::encode_boundaries(b);
+    for (std::size_t i = 0; i < frame.size(); ++i) {
+      std::vector<std::uint8_t> bad = frame;
+      bad[i] ^= 0xA5;
+      try {
+        (void)wire::decode_boundaries(bad);
+      } catch (const wire::WireError&) {
+      }
+    }
+  }
+  {
+    const std::vector<std::uint8_t> frame =
+        wire::encode_key_samples({0, 1, {1, 2, 3, 4, 5, 6, 7, 8}});
+    for (std::size_t i = 0; i < frame.size(); ++i) {
+      std::vector<std::uint8_t> bad = frame;
+      bad[i] ^= 0xA5;
+      try {
+        const wire::KeySamples ks = wire::decode_key_samples(bad);
+        EXPECT_LE(ks.keys.size(), bad.size());  // counts always payload-bounded
+      } catch (const wire::WireError&) {
+      }
+    }
+  }
+  {
+    const std::vector<std::uint8_t> frame =
+        wire::encode_migration(1, 2, make_plummer(32, 9));
+    for (std::size_t i = 0; i < frame.size(); ++i) {
+      std::vector<std::uint8_t> bad = frame;
+      bad[i] ^= 0xA5;
+      try {
+        const wire::MigrationMsg msg = wire::decode_migration(bad);
+        // Force-free invariant survives any accepted mutation.
+        for (std::size_t p = 0; p < msg.parts.size(); ++p)
+          ASSERT_EQ(msg.parts.pot[p], 0.0);
+      } catch (const wire::WireError&) {
+      }
+    }
+  }
+}
+
+TEST(Wire, StepBeginModeRoundTripsAndRejectsUnknown) {
+  wire::StepBegin sb;
+  sb.step = 9;
+  sb.mode = wire::StepMode::kSpmdStep;
+  const std::vector<std::uint8_t> frame = wire::encode_step_begin(sb);
+  EXPECT_EQ(wire::decode_step_begin(frame).mode, wire::StepMode::kSpmdStep);
+
+  // The mode byte sits right after the step field in the payload.
+  std::vector<std::uint8_t> bad = frame;
+  bad[wire::kHeaderBytes + 4] = 200;
+  EXPECT_THROW(wire::decode_step_begin(bad), wire::WireError);
+}
+
+TEST(Wire, StepResultCarriesSpmdAggregates) {
+  wire::StepResult sr;
+  sr.rank = 1;
+  sr.migrated = 42;
+  sr.local_count = 512;
+  sr.kinetic = 0.25;
+  sr.potential = -0.5;
+  sr.part_wire = {6, 999, 0.5, 0.25};
+  sr.dom_wire = {12, 333, 0.125, 0.0625};
+  sr.boundaries = {0, 1000, 2000, sfc::kKeyEnd};
+  sr.traffic = {{1, 0, 10, 2, 64}, {1, 2, 1, 3, 128}};
+  const wire::StepResult back = wire::decode_step_result(wire::encode_step_result(sr));
+  EXPECT_EQ(back.migrated, 42u);
+  EXPECT_EQ(back.local_count, 512u);
+  EXPECT_EQ(back.kinetic, 0.25);
+  EXPECT_EQ(back.potential, -0.5);
+  EXPECT_EQ(back.part_wire.bytes, 999u);
+  EXPECT_EQ(back.dom_wire.frames, 12u);
+  EXPECT_EQ(back.boundaries, sr.boundaries);
+  ASSERT_EQ(back.traffic.size(), 2u);
+  EXPECT_EQ(back.traffic[0].src, 1);
+  EXPECT_EQ(back.traffic[0].dst, 0);
+  EXPECT_EQ(back.traffic[0].type, 10);
+  EXPECT_EQ(back.traffic[1].bytes, 128u);
+  EXPECT_EQ(back.parts.size(), 0u);  // SPMD results travel particle-free
+}
+
 TEST(Wire, ControlFramesRoundTrip) {
   EXPECT_EQ(wire::decode_hello(wire::encode_hello(9)), 9);
   EXPECT_EQ(wire::frame_type(wire::encode_shutdown()), wire::FrameType::kShutdown);
@@ -206,6 +408,7 @@ TEST(Wire, ControlFramesRoundTrip) {
   cfg.quadrupole = false;
   cfg.dt = 0.5e-3;
   cfg.curve = sfc::CurveType::kMorton;
+  cfg.balance = domain::BalanceMode::kCost;
   const domain::SimConfig back = wire::decode_config(wire::encode_config(cfg));
   EXPECT_EQ(back.nranks, 6);
   EXPECT_DOUBLE_EQ(back.theta, 0.3);
@@ -215,6 +418,7 @@ TEST(Wire, ControlFramesRoundTrip) {
   EXPECT_FALSE(back.quadrupole);
   EXPECT_DOUBLE_EQ(back.dt, 0.5e-3);
   EXPECT_EQ(back.curve, sfc::CurveType::kMorton);
+  EXPECT_EQ(back.balance, domain::BalanceMode::kCost);
 }
 
 TEST(Wire, StepBeginAndResultRoundTrip) {
