@@ -92,6 +92,7 @@ class DemuxTransport final : public Transport {
   }
 
   void close(int dst) override { out_.close(dst); }
+  std::string close_reason() const override { return out_.close_reason(); }
 
  private:
   FrameDemux& demux_;
@@ -122,7 +123,7 @@ ClusterSimulation::ClusterSimulation(const ClusterConfig& cfg) : cfg_(cfg) {
   migrate_net_ = std::make_unique<InProcTransport>(cfg_.sim.nranks);
   migrate_rec_ = std::make_unique<TrafficRecordingTransport>(*migrate_net_);
 
-  net_ = SocketTransport::listen(cfg_.port, cfg_.sim.nranks);
+  net_ = SocketTransport::listen(cfg_.port, cfg_.sim.nranks, cfg_.topology);
   if (cfg_.on_listen) cfg_.on_listen(net_->port());
   if (cfg_.spawn_workers) {
     spawn_workers();
@@ -161,33 +162,43 @@ void ClusterSimulation::spawn_workers() {
   tcfg.async = true;
   const std::size_t threads = threads_for(tcfg, std::thread::hardware_concurrency());
 
+  const bool mesh = cfg_.topology == SocketTopology::kMesh;
   for (int r = 0; r < cfg_.sim.nranks; ++r) {
     const std::string rank_str = std::to_string(r);
     const std::string coord = "127.0.0.1:" + std::to_string(net_->port());
     const std::string threads_str = std::to_string(threads);
-    const char* argv[] = {cfg_.program.c_str(), "--transport", "socket",
-                          "--rank-id",          rank_str.c_str(),
-                          "--coordinator",      coord.c_str(),
-                          "--threads",          threads_str.c_str(),
-                          nullptr};
+    std::vector<const char*> argv = {cfg_.program.c_str(), "--transport", "socket",
+                                     "--rank-id",          rank_str.c_str(),
+                                     "--coordinator",      coord.c_str(),
+                                     "--threads",          threads_str.c_str()};
+    if (mesh) {
+      // Spawned mesh workers pick their own ephemeral listen ports; the
+      // coordinator's directory tells the peers where to dial.
+      argv.insert(argv.end(), {"--topology", "mesh", "--listen-port", "0"});
+    }
+    argv.push_back(nullptr);
     const pid_t pid = ::fork();
     if (pid < 0) throw std::runtime_error("ClusterSimulation: fork failed");
     if (pid == 0) {
-      ::execv(cfg_.program.c_str(), const_cast<char* const*>(argv));
+      ::execv(cfg_.program.c_str(), const_cast<char* const*>(argv.data()));
       _exit(127);  // exec failed; the coordinator sees the hangup
     }
     children_.push_back(pid);
   }
 }
 
+void ClusterSimulation::broadcast_shutdown() noexcept {
+  // Strictly best-effort, one peer at a time: the broadcast races worker
+  // teardown by construction (a worker that failed mid-step, or whose link
+  // already died, is normal here), and a dead or never-connected worker must
+  // not strand the ranks after it — they are still blocked in recv() waiting
+  // for this very frame.
+  for (int r = 0; r < cfg_.sim.nranks; ++r)
+    net_->post_best_effort(kCoordinatorRank, r, wire::encode_shutdown());
+}
+
 ClusterSimulation::~ClusterSimulation() {
-  for (int r = 0; r < cfg_.sim.nranks; ++r) {
-    try {
-      net_->post(kCoordinatorRank, r, wire::encode_shutdown());
-    } catch (...) {
-      // Worker already gone; reaping below still applies.
-    }
-  }
+  broadcast_shutdown();
   net_.reset();  // closes sockets, joins reader threads
   for (const long pid : children_) {
     if (pid < 0) continue;  // already reaped by the liveness check
@@ -230,7 +241,8 @@ wire::StepResult ClusterSimulation::recv_step_result(TrafficRecordingTransport& 
                                                      StepReport& report,
                                                      std::vector<std::uint8_t>& seen) {
   std::optional<std::vector<std::uint8_t>> frame = net_->recv(kCoordinatorRank);
-  BONSAI_CHECK_MSG(frame.has_value(), "a worker disconnected before its step result");
+  BONSAI_CHECK_MSG(frame.has_value(), "a worker disconnected before its step result (" +
+                                          net_->close_reason() + ")");
   WallTimer timer;
   wire::StepResult sr = wire::decode_step_result(*frame);
   report.part_wire.decode_seconds += timer.elapsed();
@@ -314,6 +326,7 @@ StepReport ClusterSimulation::step_hub() {
 
   wire::merge_traffic(report.traffic, rec.take());
   wire::merge_traffic(report.traffic, migrate_rec_->take());
+  wire::merge_traffic(report.routed, net_->take_routed());
   fold_stage_times(report, driver_times, rank_times);
   report.elapsed = wall.elapsed();
   return report;
@@ -380,6 +393,7 @@ StepReport ClusterSimulation::step_spmd() {
   spmd_stepped_ = true;
 
   wire::merge_traffic(report.traffic, rec.take());
+  wire::merge_traffic(report.routed, net_->take_routed());
   TimeBreakdown driver_times;
   fold_stage_times(report, driver_times, rank_times);
   report.elapsed = wall.elapsed();
@@ -402,7 +416,8 @@ ParticleSet ClusterSimulation::gather() const {
     std::vector<std::uint8_t> seen(nranks, 0);
     for (std::size_t i = 0; i < nranks; ++i) {
       std::optional<std::vector<std::uint8_t>> reply = net_->recv(kCoordinatorRank);
-      BONSAI_CHECK_MSG(reply.has_value(), "a worker disconnected during gather");
+      BONSAI_CHECK_MSG(reply.has_value(), "a worker disconnected during gather (" +
+                                              net_->close_reason() + ")");
       wire::ParticleBatch batch = wire::decode_particles(*reply);
       BONSAI_CHECK_MSG(batch.src >= 0 && batch.src < static_cast<int>(nranks) &&
                            !seen[static_cast<std::size_t>(batch.src)],
@@ -458,6 +473,30 @@ void broadcast(Transport& out, int self, int nranks, wire::WireStats& ws,
   }
 }
 
+// The build + LET exchange + gravity + integration tail both worker modes
+// share, LET statistics copied into the step result — one definition, so the
+// hub and SPMD reports cannot drift.
+void run_let_gravity_phase(Rank& rank, const SimConfig& cfg, const sfc::KeySpace& space,
+                           FrameDemux& demux, Transport& out,
+                           const std::vector<std::uint8_t>& active,
+                           const std::vector<AABB>& boxes, TimeBreakdown& times,
+                           wire::StepResult& sr) {
+  rank.build(space, cfg, times);
+  DemuxTransport let_net_view(demux, out, FrameDemux::Class::kLet);
+  LetExchange let_net(let_net_view, active);
+  std::size_t next_peer = 1;
+  RankStepStats out_stats =
+      run_rank_step(rank, cfg, let_net, active, boxes, times, /*lane=*/nullptr, next_peer);
+  const int self = rank.id();
+  sr.let_cells = out_stats.let_cells;
+  sr.let_particles = out_stats.let_particles;
+  sr.local_stats = out_stats.local_stats;
+  sr.remote_stats = out_stats.remote_stats;
+  sr.let_sizes = std::move(out_stats.let_sizes);
+  sr.let_wire = let_net.encode_stats(self);
+  sr.let_wire.decode_seconds = let_net.decode_stats(self).decode_seconds;
+}
+
 // The decentralized per-step domain update + migration + LET/gravity body of
 // one SPMD worker. Fills sr's statistics (times excepted: the caller owns
 // the breakdown) and leaves the stepped particles resident in `rank`.
@@ -468,6 +507,14 @@ void run_spmd_step(Rank& rank, const SimConfig& cfg, int step, FrameDemux& demux
   const int self = rank.id();
   ParticleSet& parts = rank.parts();
   wire::WireStats dom_ws;
+
+  // Compose a disconnect error with the transport's recorded cause, so "a
+  // peer vanished" distinguishes an orderly peer close from a socket errno.
+  const auto vanished = [&out](const char* during) {
+    const std::string why = out.close_reason();
+    return std::runtime_error(std::string("worker: a peer vanished during ") + during +
+                              (why.empty() ? "" : " (" + why + ")"));
+  };
 
   // --- Phase 1: pre-migration allgather of bounds/population/cost weight ---
   // After it, every rank holds the identical inputs the centralized
@@ -494,8 +541,7 @@ void run_spmd_step(Rank& rank, const SimConfig& cfg, int step, FrameDemux& demux
   for (int k = 0; k + 1 < nranks; ++k) {
     std::optional<std::vector<std::uint8_t>> frame =
         demux.recv(FrameDemux::Class::kBoundaries);
-    if (!frame)
-      throw std::runtime_error("worker: a peer vanished during the domain allgather");
+    if (!frame) throw vanished("the domain allgather");
     WallTimer timer;
     const wire::Boundaries b = wire::decode_boundaries(*frame);
     dom_ws.decode_seconds += timer.elapsed();
@@ -530,8 +576,7 @@ void run_spmd_step(Rank& rank, const SimConfig& cfg, int step, FrameDemux& demux
   for (int k = 0; k + 1 < nranks; ++k) {
     std::optional<std::vector<std::uint8_t>> frame =
         demux.recv(FrameDemux::Class::kKeySamples);
-    if (!frame)
-      throw std::runtime_error("worker: a peer vanished during the sample allgather");
+    if (!frame) throw vanished("the sample allgather");
     WallTimer timer;
     wire::KeySamples ks = wire::decode_key_samples(*frame);
     dom_ws.decode_seconds += timer.elapsed();
@@ -584,8 +629,7 @@ void run_spmd_step(Rank& rank, const SimConfig& cfg, int step, FrameDemux& demux
   for (int k = 0; k + 1 < nranks; ++k) {
     std::optional<std::vector<std::uint8_t>> frame =
         demux.recv(FrameDemux::Class::kBoundaries);
-    if (!frame)
-      throw std::runtime_error("worker: a peer vanished during the box allgather");
+    if (!frame) throw vanished("the box allgather");
     WallTimer timer;
     const wire::Boundaries b = wire::decode_boundaries(*frame);
     dom_ws.decode_seconds += timer.elapsed();
@@ -608,19 +652,7 @@ void run_spmd_step(Rank& rank, const SimConfig& cfg, int step, FrameDemux& demux
 
   // --- Build + LET exchange + gravity + integration: the exact same step
   // body as the in-process lanes and the hub workers.
-  rank.build(space, cfg, times);
-  DemuxTransport let_net_view(demux, out, FrameDemux::Class::kLet);
-  LetExchange let_net(let_net_view, active);
-  std::size_t next_peer = 1;
-  RankStepStats out_stats =
-      run_rank_step(rank, cfg, let_net, active, boxes, times, /*lane=*/nullptr, next_peer);
-  sr.let_cells = out_stats.let_cells;
-  sr.let_particles = out_stats.let_particles;
-  sr.local_stats = out_stats.local_stats;
-  sr.remote_stats = out_stats.remote_stats;
-  sr.let_sizes = std::move(out_stats.let_sizes);
-  sr.let_wire = let_net.encode_stats(self);
-  sr.let_wire.decode_seconds = let_net.decode_stats(self).decode_seconds;
+  run_let_gravity_phase(rank, cfg, space, demux, out, active, boxes, times, sr);
 
   st.prev_gravity_seconds =
       times.get("Gravity local") + times.get("Gravity remote");
@@ -630,13 +662,25 @@ void run_spmd_step(Rank& rank, const SimConfig& cfg, int step, FrameDemux& demux
 }  // namespace
 
 int run_worker(const std::string& host, std::uint16_t port, int rank_id,
-               std::size_t threads) {
-  std::unique_ptr<SocketTransport> net = SocketTransport::connect(host, port, rank_id);
+               std::size_t threads, SocketTopology topology, std::uint16_t listen_port) {
+  std::unique_ptr<SocketTransport> net =
+      topology == SocketTopology::kMesh
+          ? SocketTransport::connect_mesh(host, port, rank_id, listen_port)
+          : SocketTransport::connect(host, port, rank_id);
+  // Mesh: the directory is in hand; stand up the pair links before touching
+  // the control stream, so peers' step frames have somewhere to arrive.
+  if (topology == SocketTopology::kMesh) net->mesh_with_peers();
   TrafficRecordingTransport out(*net);
   FrameDemux demux(out, rank_id);
 
+  const auto coordinator_down = [&net](const char* what) {
+    const std::string why = net->close_reason();
+    return std::runtime_error(std::string("worker: ") + what +
+                              (why.empty() ? "" : " (" + why + ")"));
+  };
+
   std::optional<std::vector<std::uint8_t>> frame = demux.recv(FrameDemux::Class::kControl);
-  if (!frame) throw std::runtime_error("worker: coordinator closed before config");
+  if (!frame) throw coordinator_down("coordinator closed before config");
   SimConfig cfg = wire::decode_config(*frame);
   BONSAI_CHECK_MSG(rank_id >= 0 && rank_id < cfg.nranks,
                    "worker rank id outside the configured rank count");
@@ -652,7 +696,7 @@ int run_worker(const std::string& host, std::uint16_t port, int rank_id,
 
   for (;;) {
     frame = demux.recv(FrameDemux::Class::kControl);
-    if (!frame) throw std::runtime_error("worker: coordinator disconnected");
+    if (!frame) throw coordinator_down("coordinator disconnected");
     const wire::FrameType type = wire::frame_type(*frame);
     if (type == wire::FrameType::kShutdown) return 0;
     if (type != wire::FrameType::kStepBegin)
@@ -685,19 +729,7 @@ int run_worker(const std::string& host, std::uint16_t port, int rank_id,
       BONSAI_CHECK(sb.active.size() == static_cast<std::size_t>(cfg.nranks));
       const sfc::KeySpace space(sb.bounds, cfg.curve);
       rank.parts() = std::move(sb.parts);
-      rank.build(space, cfg, times);
-      DemuxTransport let_net_view(demux, out, FrameDemux::Class::kLet);
-      LetExchange let_net(let_net_view, sb.active);
-      std::size_t next_peer = 1;
-      RankStepStats out_stats = run_rank_step(rank, cfg, let_net, sb.active, sb.boxes,
-                                              times, /*lane=*/nullptr, next_peer);
-      sr.let_cells = out_stats.let_cells;
-      sr.let_particles = out_stats.let_particles;
-      sr.local_stats = out_stats.local_stats;
-      sr.remote_stats = out_stats.remote_stats;
-      sr.let_sizes = std::move(out_stats.let_sizes);
-      sr.let_wire = let_net.encode_stats(rank_id);
-      sr.let_wire.decode_seconds = let_net.decode_stats(rank_id).decode_seconds;
+      run_let_gravity_phase(rank, cfg, space, demux, out, sb.active, sb.boxes, times, sr);
       // Energies and balance feedback stay coordinator-side in hub mode (it
       // owns the returned sets); only the population count rides along.
       sr.local_count = rank.parts().size();

@@ -1,7 +1,7 @@
 // Out-of-process ranks: the coordinator/worker drivers of --transport socket.
 //
 // The paper's ranks are separate MPI processes; this module reproduces that
-// process boundary over the SocketTransport in two topologies (--cluster):
+// process boundary over the SocketTransport in two state models (--cluster):
 //
 // * hub (PR 3, kept for differential testing): the coordinator owns the
 //   global particle state, the decomposition and the step loop, and ships
@@ -34,6 +34,13 @@
 //   reports and fails fast on divergence, and any worker death closes the
 //   star's sockets so every blocked recv() unblinds instead of hanging.
 //
+// Orthogonally, --topology picks the socket fabric (see transport.hpp):
+// star routes every worker↔worker frame through the coordinator; mesh gives
+// each worker pair its own TCP connection (rendezvous via the coordinator's
+// PeerDirectory) so LET/Boundaries/KeySamples/Migration frames never touch
+// the coordinator — its per-step routed-traffic matrix, folded into
+// StepReport::routed, must stay empty in a steady-state mesh run.
+//
 // Both modes compute the same physics as the in-process Simulation: the same
 // decomposition arithmetic (shared via domain/decomposition.hpp helpers),
 // the same Rank code, the same run_rank_step body, the same LET protocol —
@@ -60,6 +67,10 @@ enum class ClusterMode {
 struct ClusterConfig {
   SimConfig sim;
   ClusterMode mode = ClusterMode::kHub;
+  // Where worker↔worker frames travel: through the coordinator (star) or on
+  // direct pair sockets (mesh, the paper's point-to-point structure). The
+  // coordinator link always carries the control frames either way.
+  SocketTopology topology = SocketTopology::kStar;
   std::uint16_t port = 0;     // 0: pick an ephemeral port
   bool spawn_workers = true;  // fork/exec `program` once per rank; false:
                               // wait for externally launched workers
@@ -100,6 +111,7 @@ class ClusterSimulation {
  private:
   void redistribute(StepReport& report, TimeBreakdown& driver_times);
   void spawn_workers();
+  void broadcast_shutdown() noexcept;
   StepReport step_hub();
   StepReport step_spmd();
   // Shared receive half of both step drivers: the next worker's decoded,
@@ -135,10 +147,12 @@ class ClusterSimulation {
 };
 
 // Worker-process entry (bonsai_sim --transport socket --rank-id K
-// --coordinator HOST:PORT): connect, receive the config, serve StepBegin
-// frames — hub, SPMD or collect, as each frame's mode requests — until
-// Shutdown. Returns the process exit code.
+// --coordinator HOST:PORT [--topology mesh --listen-port P]): connect — in
+// mesh topology also stand up the worker's own listener and the pair links —
+// receive the config, serve StepBegin frames — hub, SPMD or collect, as each
+// frame's mode requests — until Shutdown. Returns the process exit code.
 int run_worker(const std::string& host, std::uint16_t port, int rank_id,
-               std::size_t threads);
+               std::size_t threads, SocketTopology topology = SocketTopology::kStar,
+               std::uint16_t listen_port = 0);
 
 }  // namespace bonsai::domain

@@ -71,7 +71,8 @@ std::string human_bytes(double b);
 
 // One line per frame type present in the step's traffic matrix, aggregated
 // over peers; the per-(src,dst) cells go to the --bench JSON.
-void print_traffic_by_type(std::span<const wire::PeerTraffic> traffic, std::ostream& os) {
+void print_traffic_by_type(std::span<const wire::PeerTraffic> traffic, std::ostream& os,
+                           const char* label = "traffic by type") {
   if (traffic.empty()) return;
   std::map<std::uint16_t, std::pair<std::uint64_t, std::uint64_t>> by_type;
   for (const wire::PeerTraffic& t : traffic) {
@@ -79,7 +80,7 @@ void print_traffic_by_type(std::span<const wire::PeerTraffic> traffic, std::ostr
     cell.first += t.frames;
     cell.second += t.bytes;
   }
-  os << "traffic by type:";
+  os << label << ":";
   bool first = true;
   for (const auto& [type, cell] : by_type) {
     os << (first ? " " : " | ")
@@ -601,6 +602,7 @@ void print_step_report(const StepReport& report, std::ostream& os) {
   }
   os << "\n";
   print_traffic_by_type(report.traffic, os);
+  print_traffic_by_type(report.routed, os, "routed via coordinator");
   print_let_histogram(report.let_sizes, os);
 
   if (report.async) {
@@ -648,15 +650,20 @@ void write_step_report_json(std::span<const StepReport> reports, std::ostream& o
        << ", \"dom_frames\": " << r.dom_wire.frames
        << ", \"dom_encode_s\": " << r.dom_wire.encode_seconds
        << ", \"dom_decode_s\": " << r.dom_wire.decode_seconds << "}";
-    os << ",\n   \"traffic\": [";
-    for (std::size_t t = 0; t < r.traffic.size(); ++t) {
-      const wire::PeerTraffic& pt = r.traffic[t];
-      os << (t == 0 ? "" : ", ") << "{\"src\": " << pt.src << ", \"dst\": " << pt.dst
-         << ", \"type\": \""
-         << wire::frame_type_name(static_cast<wire::FrameType>(pt.type))
-         << "\", \"frames\": " << pt.frames << ", \"bytes\": " << pt.bytes << '}';
-    }
-    os << "]";
+    const auto write_matrix = [&os](const char* key,
+                                    std::span<const wire::PeerTraffic> cells) {
+      os << ",\n   \"" << key << "\": [";
+      for (std::size_t t = 0; t < cells.size(); ++t) {
+        const wire::PeerTraffic& pt = cells[t];
+        os << (t == 0 ? "" : ", ") << "{\"src\": " << pt.src << ", \"dst\": " << pt.dst
+           << ", \"type\": \""
+           << wire::frame_type_name(static_cast<wire::FrameType>(pt.type))
+           << "\", \"frames\": " << pt.frames << ", \"bytes\": " << pt.bytes << '}';
+      }
+      os << "]";
+    };
+    write_matrix("traffic", r.traffic);
+    write_matrix("routed", r.routed);
     const LetSizeSummary ls = summarize_let_sizes(r.let_sizes);
     os << ",\n   \"let_size_bytes\": {\"count\": " << r.let_sizes.size()
        << ", \"min\": " << ls.min_bytes << ", \"median\": " << ls.median_bytes

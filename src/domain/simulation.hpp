@@ -69,6 +69,12 @@ struct StepReport {
   // hub-vs-SPMD traffic comparisons in CI.
   std::vector<wire::PeerTraffic> traffic;
 
+  // Cluster runs only: the worker↔worker frames the *coordinator forwarded*
+  // this step, same shape as `traffic`. The star topology routes every peer
+  // frame here; a steady-state mesh step must leave it empty — the
+  // measurable basis of the star-vs-mesh comparison in CI.
+  std::vector<wire::PeerTraffic> routed;
+
   // Schedule model (async steps only; see schedule.hpp): the pipelined
   // critical path vs the lockstep stage-sum over the rank-concurrent stages,
   // and the same pair restricted to Exchange LET + Gravity local + remote.

@@ -282,6 +282,8 @@ const char* frame_type_name(FrameType type) {
     case FrameType::kBoundaries: return "Boundaries";
     case FrameType::kKeySamples: return "KeySamples";
     case FrameType::kMigration: return "Migration";
+    case FrameType::kPeerDirectory: return "PeerDirectory";
+    case FrameType::kPeerHello: return "PeerHello";
   }
   return "Unknown";
 }
@@ -371,14 +373,57 @@ ParticleBatch decode_particles(std::span<const std::uint8_t> frame) {
   return batch;
 }
 
-std::vector<std::uint8_t> encode_hello(int rank) {
+std::vector<std::uint8_t> encode_hello(int rank, std::uint16_t listen_port) {
   Writer w(FrameType::kHello);
+  w.i32(rank);
+  w.u16(listen_port);
+  return w.finish();
+}
+
+Hello decode_hello(std::span<const std::uint8_t> frame) {
+  Reader r = open_frame(frame, FrameType::kHello);
+  Hello h;
+  h.rank = r.i32();
+  h.listen_port = r.u16();
+  r.done();
+  return h;
+}
+
+std::vector<std::uint8_t> encode_peer_directory(std::span<const PeerEndpoint> peers) {
+  Writer w(FrameType::kPeerDirectory);
+  w.u32(static_cast<std::uint32_t>(peers.size()));
+  for (const PeerEndpoint& p : peers) {
+    w.u16(p.port);
+    w.u32(static_cast<std::uint32_t>(p.host.size()));
+    for (const char c : p.host) w.u8(static_cast<std::uint8_t>(c));
+  }
+  return w.finish();
+}
+
+std::vector<PeerEndpoint> decode_peer_directory(std::span<const std::uint8_t> frame) {
+  Reader r = open_frame(frame, FrameType::kPeerDirectory);
+  const std::size_t n =
+      r.array_count(r.u32(), 2 + 4, "directory entry count exceeds payload");
+  r.require(n >= 1 && n <= 255, "directory rank count out of range");
+  std::vector<PeerEndpoint> peers(n);
+  for (PeerEndpoint& p : peers) {
+    p.port = r.u16();
+    const std::size_t len = r.array_count(r.u32(), 1, "directory host exceeds payload");
+    p.host.resize(len);
+    for (char& c : p.host) c = static_cast<char>(r.u8());
+  }
+  r.done();
+  return peers;
+}
+
+std::vector<std::uint8_t> encode_peer_hello(int rank) {
+  Writer w(FrameType::kPeerHello);
   w.i32(rank);
   return w.finish();
 }
 
-int decode_hello(std::span<const std::uint8_t> frame) {
-  Reader r = open_frame(frame, FrameType::kHello);
+int decode_peer_hello(std::span<const std::uint8_t> frame) {
+  Reader r = open_frame(frame, FrameType::kPeerHello);
   const int rank = r.i32();
   r.done();
   return rank;

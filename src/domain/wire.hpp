@@ -30,14 +30,16 @@
 namespace bonsai::domain::wire {
 
 // Frame header constants. The magic bytes spell "BNSW" on the wire.
+// Version 3 extends Hello with the worker's mesh listen port and adds the
+// PeerDirectory / PeerHello handshake frames of the mesh topology.
 inline constexpr std::uint32_t kMagic = 0x57534E42u;
-inline constexpr std::uint16_t kVersion = 2;
+inline constexpr std::uint16_t kVersion = 3;
 inline constexpr std::size_t kHeaderBytes = 16;
 
 enum class FrameType : std::uint16_t {
   kLet = 1,        // one rank's LET for one remote rank
   kParticles = 2,  // particle batch (hub migration cell, gather reply)
-  kHello = 3,      // worker -> coordinator: rank id announcement
+  kHello = 3,      // worker -> coordinator: rank id + mesh listen port
   kConfig = 4,     // coordinator -> worker: simulation parameters
   kStepBegin = 5,  // coordinator -> worker: step inputs (+ batch in hub mode)
   kStepResult = 6, // worker -> coordinator: timings, stats (+ batch in hub mode)
@@ -45,6 +47,8 @@ enum class FrameType : std::uint16_t {
   kBoundaries = 8, // SPMD allgather: one rank's local bounds/population/weight
   kKeySamples = 9, // SPMD allgather: one rank's sampled SFC keys
   kMigration = 10, // SPMD peer-to-peer: owner-changing particles (alltoallv cell)
+  kPeerDirectory = 11,  // coordinator -> worker: every worker's mesh endpoint
+  kPeerHello = 12,      // worker -> worker: dialing rank's id on a fresh mesh link
 };
 
 // Human-readable frame type name for reports ("Let", "Migration", ...).
@@ -130,8 +134,34 @@ std::vector<std::uint8_t> encode_particles(int src, const ParticleSet& parts,
 ParticleBatch decode_particles(std::span<const std::uint8_t> frame);
 
 // --- Cluster control frames (coordinator <-> out-of-process workers) ---------
-std::vector<std::uint8_t> encode_hello(int rank);
-int decode_hello(std::span<const std::uint8_t> frame);
+// The first frame on every worker -> coordinator connection. `listen_port`
+// is the port the worker's own mesh listener is bound to (0: star topology,
+// the worker accepts no peer connections).
+struct Hello {
+  int rank = -1;
+  std::uint16_t listen_port = 0;
+};
+
+std::vector<std::uint8_t> encode_hello(int rank, std::uint16_t listen_port = 0);
+Hello decode_hello(std::span<const std::uint8_t> frame);
+
+// --- Mesh-topology handshake frames ------------------------------------------
+// One worker's dialable endpoint, as the coordinator's rendezvous learned it
+// from the Hello handshake.
+struct PeerEndpoint {
+  std::string host;
+  std::uint16_t port = 0;
+};
+
+// The rendezvous directory the coordinator broadcasts before Config in mesh
+// topology: entry r is rank r's listen endpoint. Workers dial every
+// higher-ranked entry; lower ranks accept, so each pair meets exactly once.
+std::vector<std::uint8_t> encode_peer_directory(std::span<const PeerEndpoint> peers);
+std::vector<PeerEndpoint> decode_peer_directory(std::span<const std::uint8_t> frame);
+
+// The dialing worker's rank announcement, first frame on a fresh mesh link.
+std::vector<std::uint8_t> encode_peer_hello(int rank);
+int decode_peer_hello(std::span<const std::uint8_t> frame);
 
 std::vector<std::uint8_t> encode_config(const SimConfig& cfg);
 SimConfig decode_config(std::span<const std::uint8_t> frame);

@@ -51,11 +51,16 @@ void register_flags(bonsai::CommandLine& cli) {
   cli.add_option("cluster", "MODE",
                  "hub | spmd: socket cluster style — coordinator-owned state "
                  "vs resident particles + peer migration (default hub)");
+  cli.add_option("topology", "T",
+                 "star | mesh: worker frames routed via the coordinator vs "
+                 "direct worker pair sockets (default star)");
   cli.add_option("port", "P", "socket coordinator listen port (default: ephemeral)");
   cli.add_switch("no-spawn",
                  "socket coordinator: wait for externally launched workers");
   cli.add_option("rank-id", "K", "worker mode: serve rank K for a coordinator");
   cli.add_option("coordinator", "HOST:PORT", "worker mode: coordinator address");
+  cli.add_option("listen-port", "P",
+                 "worker mode, mesh topology: own listen port (default: ephemeral)");
 }
 
 // Write the --bench trajectory; returns false (with a message) on I/O error.
@@ -141,8 +146,10 @@ int run_steps(SimT& sim, const bonsai::ParticleSet& initial, int steps,
   return write_bench(bench_path, reports) ? 0 : 2;
 }
 
-// Worker mode: --transport socket --rank-id K --coordinator HOST:PORT.
-int run_worker_mode(const bonsai::CommandLine& cli) {
+// Worker mode: --transport socket --rank-id K --coordinator HOST:PORT
+// [--topology mesh --listen-port P].
+int run_worker_mode(const bonsai::CommandLine& cli,
+                    bonsai::domain::SocketTopology topology) {
   const std::string coord = cli.get("coordinator", "127.0.0.1:0");
   const auto colon = coord.rfind(':');
   if (colon == std::string::npos || colon + 1 == coord.size())
@@ -156,7 +163,12 @@ int run_worker_mode(const bonsai::CommandLine& cli) {
   const auto port = static_cast<std::uint16_t>(port_val);
   const int rank_id = static_cast<int>(cli.get_int("rank-id", -1));
   const auto threads = static_cast<std::size_t>(cli.get_int("threads", 0));
-  return bonsai::domain::run_worker(host, port, rank_id, threads);
+  const std::int64_t listen_port = cli.get_int("listen-port", 0);
+  if (listen_port < 0 || listen_port > 65535)
+    throw bonsai::CliError("--listen-port: expected 0-65535, got '" +
+                           std::to_string(listen_port) + "'");
+  return bonsai::domain::run_worker(host, port, rank_id, threads, topology,
+                                    static_cast<std::uint16_t>(listen_port));
 }
 
 }  // namespace
@@ -186,11 +198,25 @@ int main(int argc, char** argv) {
           "--cluster applies to --transport socket (in-process ranks are "
           "already resident)");
 
+    const std::string topology_str = cli.get("topology", "star");
+    if (topology_str != "star" && topology_str != "mesh")
+      throw bonsai::CliError("--topology: expected star or mesh, got '" + topology_str +
+                             "'");
+    if (cli.has("topology") && !socket_mode)
+      throw bonsai::CliError(
+          "--topology applies to --transport socket (in-process ranks share "
+          "one address space)");
+    const bonsai::domain::SocketTopology topology =
+        topology_str == "mesh" ? bonsai::domain::SocketTopology::kMesh
+                               : bonsai::domain::SocketTopology::kStar;
+
     if (cli.has("rank-id")) {
       if (!socket_mode)
         throw bonsai::CliError("--rank-id only applies to --transport socket workers");
-      return run_worker_mode(cli);
+      return run_worker_mode(cli, topology);
     }
+    if (cli.has("listen-port"))
+      throw bonsai::CliError("--listen-port only applies to --rank-id workers");
 
     bonsai::domain::SimConfig cfg;
     const auto n = static_cast<std::size_t>(cli.get_int("n", 16384));
@@ -238,14 +264,15 @@ int main(int argc, char** argv) {
       if (validate) ccfg.sim.dt = 0.0;  // forces-only comparison
       ccfg.mode = cluster == "spmd" ? bonsai::domain::ClusterMode::kSpmd
                                     : bonsai::domain::ClusterMode::kHub;
+      ccfg.topology = topology;
       ccfg.port = static_cast<std::uint16_t>(port);
       ccfg.spawn_workers = !cli.get_bool("no-spawn", false);
       ccfg.program = argv[0];
       ccfg.worker_threads = cfg.threads_per_rank;
       bonsai::domain::ClusterSimulation sim(ccfg);
-      std::cout << "cluster: " << cluster << " coordinator on 127.0.0.1:" << sim.port()
-                << " driving " << cfg.nranks
-                << (ccfg.spawn_workers ? " spawned" : " external")
+      std::cout << "cluster: " << cluster << " (" << topology_str
+                << " topology) coordinator on 127.0.0.1:" << sim.port() << " driving "
+                << cfg.nranks << (ccfg.spawn_workers ? " spawned" : " external")
                 << " worker process(es)\n";
       return validate ? run_validation(sim, ccfg.sim, initial, bench_path)
                       : run_steps(sim, initial, steps, bench_path);

@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
+#include <atomic>
 #include <cmath>
 #include <cstdint>
 #include <thread>
@@ -35,17 +37,20 @@ struct WorkerPool {
   }
 };
 
-ClusterConfig cluster_config(const SimConfig& sim, ClusterMode mode, WorkerPool& pool) {
+ClusterConfig cluster_config(const SimConfig& sim, ClusterMode mode, WorkerPool& pool,
+                             domain::SocketTopology topology = domain::SocketTopology::kStar) {
   ClusterConfig cfg;
   cfg.sim = sim;
   cfg.mode = mode;
+  cfg.topology = topology;
   cfg.spawn_workers = false;
   const int nranks = sim.nranks;
-  cfg.on_listen = [&pool, nranks](std::uint16_t port) {
+  cfg.on_listen = [&pool, nranks, topology](std::uint16_t port) {
     for (int r = 0; r < nranks; ++r)
-      pool.threads.emplace_back([port, r] {
+      pool.threads.emplace_back([port, r, topology] {
         try {
-          domain::run_worker("127.0.0.1", port, r, /*threads=*/1);
+          domain::run_worker("127.0.0.1", port, r, /*threads=*/1, topology,
+                             /*listen_port=*/0);
         } catch (...) {
           // Teardown races surface as socket errors inside the worker; the
           // coordinator-side assertions are the test.
@@ -74,6 +79,13 @@ std::uint64_t traffic_bytes(const domain::StepReport& rep, wire::FrameType type)
 std::uint64_t traffic_frames(const domain::StepReport& rep, wire::FrameType type) {
   std::uint64_t frames = 0;
   for (const wire::PeerTraffic& t : rep.traffic)
+    if (t.type == static_cast<std::uint16_t>(type)) frames += t.frames;
+  return frames;
+}
+
+std::uint64_t routed_frames(const domain::StepReport& rep, wire::FrameType type) {
+  std::uint64_t frames = 0;
+  for (const wire::PeerTraffic& t : rep.routed)
     if (t.type == static_cast<std::uint16_t>(type)) frames += t.frames;
   return frames;
 }
@@ -185,6 +197,14 @@ TEST(ClusterSpmd, TrafficMatrixCoversTheProtocol) {
   EXPECT_EQ(traffic_frames(rep, wire::FrameType::kParticles), 0u);
   // The matrix and the wire summaries account the same LET volume.
   EXPECT_EQ(traffic_bytes(rep, wire::FrameType::kLet), rep.let_wire.bytes);
+  // Star routing: every peer frame crossed the coordinator — the baseline
+  // the mesh topology eliminates (see ClusterSpmdMesh).
+  EXPECT_EQ(routed_frames(rep, wire::FrameType::kMigration), nranks * (nranks - 1));
+  EXPECT_EQ(routed_frames(rep, wire::FrameType::kBoundaries), 2 * nranks * (nranks - 1));
+  EXPECT_EQ(routed_frames(rep, wire::FrameType::kKeySamples), nranks * (nranks - 1));
+  EXPECT_GT(routed_frames(rep, wire::FrameType::kLet), 0u);
+  EXPECT_EQ(routed_frames(rep, wire::FrameType::kStepBegin), 0u);  // control is terminated,
+  EXPECT_EQ(routed_frames(rep, wire::FrameType::kStepResult), 0u); // not routed
 }
 
 TEST(ClusterSpmd, MultiStepDriftPreservesPopulationAndForces) {
@@ -212,6 +232,117 @@ TEST(ClusterSpmd, MultiStepDriftPreservesPopulationAndForces) {
                 std::isfinite(got.az[i]) && std::isfinite(got.pot[i]));
   }
   (void)migrated_total;  // any value is legal; population checks are the bar
+}
+
+TEST(ClusterSpmdMesh, ReproducesInProcForcesWithNothingRoutedThroughCoordinator) {
+  // The mesh tentpole: same physics as the star (and therefore as the
+  // in-process run), with the coordinator's routed-frame matrix empty — all
+  // LET/Boundaries/KeySamples/Migration traffic travels the pair sockets.
+  const ParticleSet global = make_plummer(900, 77);
+  SimConfig cfg = forces_only_config(3);
+  cfg.dt = 1e-3;
+
+  domain::Simulation inproc(cfg);
+  inproc.init(global);
+  inproc.step();
+  const domain::StepReport in_rep2 = inproc.step();
+  const ParticleSet in_got = inproc.gather();
+
+  WorkerPool pool;
+  ClusterSimulation mesh(
+      cluster_config(cfg, ClusterMode::kSpmd, pool, domain::SocketTopology::kMesh));
+  mesh.init(global);
+  const domain::StepReport rep1 = mesh.step();
+  const domain::StepReport rep2 = mesh.step();  // steady state
+  const ParticleSet mesh_got = mesh.gather();
+
+  ASSERT_EQ(mesh_got.size(), in_got.size());
+  EXPECT_LT(median_acc_error(mesh_got, in_got), 1e-9);
+  EXPECT_EQ(rep2.num_particles, in_rep2.num_particles);
+  EXPECT_EQ(rep2.migrated, in_rep2.migrated);
+
+  // The send-side matrix still covers the full peer protocol...
+  const std::uint64_t nranks = 3;
+  EXPECT_EQ(traffic_frames(rep2, wire::FrameType::kMigration), nranks * (nranks - 1));
+  EXPECT_EQ(traffic_frames(rep2, wire::FrameType::kBoundaries),
+            2 * nranks * (nranks - 1));
+  EXPECT_EQ(traffic_frames(rep2, wire::FrameType::kKeySamples), nranks * (nranks - 1));
+  // ...but none of it crossed the coordinator: zero routed frames of any
+  // class, both on the bootstrap step and in steady state.
+  EXPECT_TRUE(rep1.routed.empty());
+  EXPECT_TRUE(rep2.routed.empty());
+}
+
+TEST(ClusterHubMesh, MatchesInProcForces) {
+  // Hub state model over the mesh fabric: only LETs travel peer-to-peer
+  // (migration is coordinator-local in hub mode), and none are routed.
+  const ParticleSet global = make_plummer(700, 3);
+  const SimConfig cfg = forces_only_config(2);
+
+  domain::Simulation inproc(cfg);
+  inproc.init(global);
+  inproc.step();
+  const ParticleSet in_got = inproc.gather();
+
+  WorkerPool pool;
+  ClusterSimulation hub(
+      cluster_config(cfg, ClusterMode::kHub, pool, domain::SocketTopology::kMesh));
+  hub.init(global);
+  const domain::StepReport rep = hub.step();
+  const ParticleSet hub_got = hub.gather();
+
+  ASSERT_EQ(hub_got.size(), in_got.size());
+  EXPECT_LT(median_acc_error(hub_got, in_got), 1e-9);
+  EXPECT_GT(traffic_frames(rep, wire::FrameType::kLet), 0u);  // LETs did flow
+  EXPECT_TRUE(rep.routed.empty());                            // just not through the hub
+}
+
+TEST(ClusterShutdown, DeadWorkerDoesNotStrandTheOthers) {
+  // Shutdown-broadcast race: rank 0 connects, says hello, then drops dead
+  // before serving a single frame. The coordinator's teardown must still
+  // deliver Shutdown to ranks 1 and 2 — best-effort per peer — so they exit
+  // cleanly instead of blocking forever on a control frame that a mid-loop
+  // broadcast failure would have skipped.
+  SimConfig cfg = forces_only_config(3);
+  WorkerPool pool;
+  std::array<std::atomic<int>, 3> exit_codes{};
+  for (auto& c : exit_codes) c.store(-2);
+
+  ClusterConfig ccfg;
+  ccfg.sim = cfg;
+  ccfg.mode = ClusterMode::kHub;
+  ccfg.spawn_workers = false;
+  ccfg.on_listen = [&pool, &exit_codes](std::uint16_t port) {
+    pool.threads.emplace_back([port, &exit_codes] {
+      // The defector: announces rank 0, takes its Config, then drops dead
+      // without ever serving a step or waiting for Shutdown.
+      try {
+        auto net = domain::SocketTransport::connect("127.0.0.1", port, 0);
+        (void)net->recv(0);
+        exit_codes[0].store(0);
+      } catch (...) {
+        exit_codes[0].store(1);
+      }
+    });
+    for (int r = 1; r < 3; ++r)
+      pool.threads.emplace_back([port, r, &exit_codes] {
+        try {
+          exit_codes[static_cast<std::size_t>(r)].store(
+              domain::run_worker("127.0.0.1", port, r, /*threads=*/1));
+        } catch (...) {
+          exit_codes[static_cast<std::size_t>(r)].store(1);
+        }
+      });
+  };
+
+  {
+    ClusterSimulation sim(ccfg);
+    // No step: construction (config broadcast) then teardown, with rank 0
+    // already gone. The destructor must neither throw nor hang.
+  }
+  for (std::thread& t : pool.threads) t.join();
+  EXPECT_EQ(exit_codes[1].load(), 0) << "rank 1 did not see Shutdown";
+  EXPECT_EQ(exit_codes[2].load(), 0) << "rank 2 did not see Shutdown";
 }
 
 TEST(ClusterHub, StillMatchesInProcForces) {

@@ -1,8 +1,8 @@
 // Transport conformance suite: one parameterized contract check run
-// identically over every Transport backend (InProcTransport and
-// SocketTransport today), so the next backend (MPI) has a ready-made
-// acceptance test. The contract under test is what channel.* and the
-// exchanges are written against:
+// identically over every Transport backend (InProcTransport plus the star
+// and mesh SocketTransport topologies today), so the next backend (MPI) has
+// a ready-made acceptance test. The contract under test is what channel.*
+// and the exchanges are written against:
 //
 //   * post() is nonblocking and frames are delivered to `dst` intact;
 //   * per (src, dst) pair, frames arrive in post order (FIFO);
@@ -47,14 +47,20 @@ class InProcHarness final : public Harness {
 
 class SocketHarness final : public Harness {
  public:
-  SocketHarness() {
-    coord_ = domain::SocketTransport::listen(0, kRanks);
+  explicit SocketHarness(domain::SocketTopology topology) {
+    coord_ = domain::SocketTransport::listen(0, kRanks, topology);
     std::vector<std::thread> connectors;
     workers_.resize(kRanks);
     for (int r = 0; r < kRanks; ++r)
-      connectors.emplace_back([this, r] {
-        workers_[static_cast<std::size_t>(r)] =
-            domain::SocketTransport::connect("127.0.0.1", coord_->port(), r);
+      connectors.emplace_back([this, r, topology] {
+        auto& slot = workers_[static_cast<std::size_t>(r)];
+        if (topology == domain::SocketTopology::kMesh) {
+          slot = domain::SocketTransport::connect_mesh("127.0.0.1", coord_->port(), r,
+                                                       /*listen_port=*/0);
+          slot->mesh_with_peers(/*timeout_ms=*/30000);
+        } else {
+          slot = domain::SocketTransport::connect("127.0.0.1", coord_->port(), r);
+        }
       });
     coord_->accept_workers(/*timeout_ms=*/30000);
     for (std::thread& t : connectors) t.join();
@@ -64,16 +70,24 @@ class SocketHarness final : public Harness {
     return *workers_[static_cast<std::size_t>(rank)];
   }
 
+  domain::SocketTransport& coordinator() { return *coord_; }
+  domain::SocketTransport& worker(int rank) {
+    return *workers_[static_cast<std::size_t>(rank)];
+  }
+  void kill_worker(int rank) { workers_[static_cast<std::size_t>(rank)].reset(); }
+
  private:
   std::unique_ptr<domain::SocketTransport> coord_;  // alive to route frames
   std::vector<std::unique_ptr<domain::SocketTransport>> workers_;
 };
 
-enum class Backend { kInProc, kSocket };
+enum class Backend { kInProc, kSocketStar, kSocketMesh };
 
 std::unique_ptr<Harness> make_harness(Backend b) {
   if (b == Backend::kInProc) return std::make_unique<InProcHarness>();
-  return std::make_unique<SocketHarness>();
+  return std::make_unique<SocketHarness>(b == Backend::kSocketMesh
+                                             ? domain::SocketTopology::kMesh
+                                             : domain::SocketTopology::kStar);
 }
 
 class TransportConformance : public ::testing::TestWithParam<Backend> {
@@ -87,7 +101,7 @@ class TransportConformance : public ::testing::TestWithParam<Backend> {
 // in-process path move identical bytes.
 std::vector<std::uint8_t> tagged(int value) { return wire::encode_hello(value); }
 
-int tag_of(const std::vector<std::uint8_t>& frame) { return wire::decode_hello(frame); }
+int tag_of(const std::vector<std::uint8_t>& frame) { return wire::decode_hello(frame).rank; }
 
 TEST_P(TransportConformance, FifoPerSourceDestinationPair) {
   for (int i = 0; i < 64; ++i) h_->at(0).post(0, 1, tagged(i));
@@ -191,9 +205,14 @@ TEST(InProcTransport, PendingFramesStayReceivableAfterClose) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Backends, TransportConformance,
-                         ::testing::Values(Backend::kInProc, Backend::kSocket),
+                         ::testing::Values(Backend::kInProc, Backend::kSocketStar,
+                                           Backend::kSocketMesh),
                          [](const ::testing::TestParamInfo<Backend>& info) {
-                           return info.param == Backend::kInProc ? "InProc" : "Socket";
+                           switch (info.param) {
+                             case Backend::kInProc: return "InProc";
+                             case Backend::kSocketStar: return "SocketStar";
+                             default: return "SocketMesh";
+                           }
                          });
 
 // The recorder decorator is transport-agnostic; spot-check it over the
@@ -220,8 +239,141 @@ TEST(TrafficRecordingTransport, RecordsPerPeerPerType) {
   EXPECT_TRUE(rec.take().empty());  // drained
 
   // Frames pass through unmodified.
-  EXPECT_EQ(wire::decode_hello(*inner.recv(1)), 1);
-  EXPECT_EQ(wire::decode_hello(*inner.recv(1)), 2);
+  EXPECT_EQ(wire::decode_hello(*inner.recv(1)).rank, 1);
+  EXPECT_EQ(wire::decode_hello(*inner.recv(1)).rank, 2);
+}
+
+// --- Socket failure paths ----------------------------------------------------
+
+TEST(SocketTransport, MeshKeepsPeerFramesOffTheCoordinator) {
+  // The point of the topology: worker↔worker frames ride the pair sockets,
+  // so the coordinator's routed matrix stays empty; in the star it carries
+  // every one of them.
+  for (const auto topology :
+       {domain::SocketTopology::kStar, domain::SocketTopology::kMesh}) {
+    SocketHarness h(topology);
+    for (int src = 0; src < kRanks; ++src)
+      for (int dst = 0; dst < kRanks; ++dst)
+        if (src != dst) h.at(src).post(src, dst, tagged(src));
+    for (int dst = 0; dst < kRanks; ++dst)
+      for (int k = 0; k + 1 < kRanks; ++k) ASSERT_TRUE(h.at(dst).recv(dst).has_value());
+    const std::vector<wire::PeerTraffic> routed = h.coordinator().take_routed();
+    if (topology == domain::SocketTopology::kMesh) {
+      EXPECT_TRUE(routed.empty());
+    } else {
+      std::uint64_t frames = 0;
+      for (const wire::PeerTraffic& t : routed) frames += t.frames;
+      EXPECT_EQ(frames, static_cast<std::uint64_t>(kRanks * (kRanks - 1)));
+    }
+  }
+}
+
+TEST(SocketTransport, OrderlyPeerCloseIsNamedInCloseReason) {
+  // A worker that goes away cleanly must surface as "closed connection" on
+  // the coordinator — distinguishable from a socket error — and unblock
+  // recv() instead of hanging it.
+  SocketHarness h(domain::SocketTopology::kStar);
+  h.kill_worker(1);
+  // Workers 0 and 2 are still up, but any worker link loss closes the
+  // coordinator's mailbox (its step protocol needs all of them).
+  EXPECT_FALSE(h.coordinator().recv(domain::kCoordinatorRank).has_value());
+  const std::string reason = h.coordinator().close_reason();
+  EXPECT_NE(reason.find("worker 1"), std::string::npos) << reason;
+  EXPECT_NE(reason.find("closed connection"), std::string::npos) << reason;
+}
+
+TEST(SocketTransport, MidStreamWriteFailurePoisonsThePeerByName) {
+  // Once a write fails, part of a routing header may be on the wire: the
+  // peer must be marked dead so later posts fail fast with its name instead
+  // of desyncing the stream into garbage decodes.
+  SocketHarness h(domain::SocketTopology::kStar);
+  h.kill_worker(1);
+  // The kernel buffers a few frames after the peer vanishes; keep posting
+  // until the failure surfaces (bounded: buffers are finite).
+  std::vector<std::uint8_t> big(1u << 16, 0xab);
+  bool threw = false;
+  std::string what;
+  for (int i = 0; i < 100000 && !threw; ++i) {
+    try {
+      h.coordinator().post(domain::kCoordinatorRank, 1, big);
+    } catch (const std::exception& e) {
+      threw = true;
+      what = e.what();
+    }
+  }
+  ASSERT_TRUE(threw);
+  EXPECT_NE(what.find("worker 1"), std::string::npos) << what;
+  // Poisoned: the very next post fails immediately, still naming the peer.
+  try {
+    h.coordinator().post(domain::kCoordinatorRank, 1, tagged(1));
+    FAIL() << "post to a dead peer must throw";
+  } catch (const std::exception& e) {
+    EXPECT_NE(std::string(e.what()).find("worker 1"), std::string::npos) << e.what();
+  }
+  // Other peers are untouched.
+  h.coordinator().post(domain::kCoordinatorRank, 0, tagged(5));
+  auto frame = h.at(0).recv(0);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(tag_of(*frame), 5);
+}
+
+TEST(SocketTransport, ForwardFailureDoesNotPoisonTheSourceLink) {
+  // Worker 1 dies while worker 0 keeps routing frames to it through the
+  // coordinator. Only the *destination* link may be poisoned: worker 0's own
+  // link must stay healthy, so the teardown Shutdown still reaches it.
+  SocketHarness h(domain::SocketTopology::kStar);
+  h.kill_worker(1);
+  // Enough volume that the coordinator's forward write fails at least once
+  // (the kernel buffers the first frames; rank 1's fd then RSTs).
+  std::vector<std::uint8_t> big = tagged(0);
+  big.resize(1u << 16, 0xcd);
+  for (int i = 0; i < 400; ++i) h.at(0).post(0, 1, big);
+  // The coordinator -> worker 0 direction must still deliver.
+  h.coordinator().post(domain::kCoordinatorRank, 0, tagged(9));
+  auto frame = h.at(0).recv(0);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(tag_of(*frame), 9);
+}
+
+TEST(SocketTransportMesh, PeerThatNeverDialsFailsTimedAndNamed) {
+  // Partial-mesh fuzz: rank 0 completes the rendezvous (hello + directory)
+  // but never dials its higher-ranked peers. Rank 2 waits for inbound
+  // connections from ranks 0 and 1; only rank 1 dials, so rank 2's mesh
+  // setup must fail after its deadline naming rank 0 — not hang.
+  auto coord = domain::SocketTransport::listen(0, 3, domain::SocketTopology::kMesh);
+  std::unique_ptr<domain::SocketTransport> w0, w1, w2;
+  std::vector<std::thread> connectors;
+  connectors.emplace_back([&] {
+    w0 = domain::SocketTransport::connect_mesh("127.0.0.1", coord->port(), 0, 0);
+  });
+  connectors.emplace_back([&] {
+    w1 = domain::SocketTransport::connect_mesh("127.0.0.1", coord->port(), 1, 0);
+  });
+  connectors.emplace_back([&] {
+    w2 = domain::SocketTransport::connect_mesh("127.0.0.1", coord->port(), 2, 0);
+  });
+  coord->accept_workers(/*timeout_ms=*/30000);
+  for (std::thread& t : connectors) t.join();
+
+  // Rank 1 dials rank 2 (its only higher peer) and then times out waiting
+  // for rank 0's inbound connection.
+  std::thread w1_mesh([&] {
+    try {
+      w1->mesh_with_peers(/*timeout_ms=*/1500);
+      ADD_FAILURE() << "rank 1 mesh must fail without rank 0";
+    } catch (const std::exception& e) {
+      EXPECT_NE(std::string(e.what()).find("rank(s) 0"), std::string::npos) << e.what();
+    }
+  });
+  try {
+    w2->mesh_with_peers(/*timeout_ms=*/1500);
+    FAIL() << "rank 2 mesh must fail without rank 0";
+  } catch (const std::exception& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("timed out"), std::string::npos) << what;
+    EXPECT_NE(what.find("rank(s) 0"), std::string::npos) << what;
+  }
+  w1_mesh.join();
 }
 
 TEST(Wire, MergeTrafficSumsMatchingCells) {

@@ -208,6 +208,53 @@ TEST(Wire, VersionMismatchNamesBothVersions) {
   }
 }
 
+TEST(Wire, MeshHandshakeFramesRoundTrip) {
+  const std::vector<wire::PeerEndpoint> dir = {
+      {"127.0.0.1", 40001}, {"127.0.0.1", 40002}, {"10.0.0.7", 65535}};
+  const std::vector<wire::PeerEndpoint> back =
+      wire::decode_peer_directory(wire::encode_peer_directory(dir));
+  ASSERT_EQ(back.size(), 3u);
+  for (std::size_t i = 0; i < dir.size(); ++i) {
+    EXPECT_EQ(back[i].host, dir[i].host);
+    EXPECT_EQ(back[i].port, dir[i].port);
+  }
+  EXPECT_EQ(wire::decode_peer_hello(wire::encode_peer_hello(17)), 17);
+}
+
+TEST(Wire, MeshHandshakeFramesRejectTruncationAndSurviveByteFlips) {
+  const std::vector<wire::PeerEndpoint> dir = {{"127.0.0.1", 40001}, {"127.0.0.1", 2}};
+  const std::vector<std::uint8_t> frame = wire::encode_peer_directory(dir);
+  // Truncation at every length: always a WireError, never a crash or a read
+  // past the buffer.
+  for (std::size_t len = 0; len < frame.size(); ++len) {
+    const std::vector<std::uint8_t> cut(frame.begin(),
+                                        frame.begin() + static_cast<std::ptrdiff_t>(len));
+    EXPECT_THROW(wire::decode_peer_directory(cut), wire::WireError) << len;
+  }
+  // An empty directory (no ranks) is structurally invalid.
+  EXPECT_THROW(
+      wire::decode_peer_directory(wire::encode_peer_directory(
+          std::vector<wire::PeerEndpoint>{})),
+      wire::WireError);
+  // Exhaustive single-byte corruption: throw or decode to a bounded value.
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    std::vector<std::uint8_t> bad = frame;
+    bad[i] ^= 0xA5;
+    try {
+      const std::vector<wire::PeerEndpoint> got = wire::decode_peer_directory(bad);
+      EXPECT_LE(got.size(), 255u);
+      for (const wire::PeerEndpoint& p : got) EXPECT_LE(p.host.size(), bad.size());
+    } catch (const wire::WireError&) {
+    }
+  }
+  const std::vector<std::uint8_t> ph = wire::encode_peer_hello(3);
+  for (std::size_t len = 0; len < ph.size(); ++len) {
+    const std::vector<std::uint8_t> cut(ph.begin(),
+                                        ph.begin() + static_cast<std::ptrdiff_t>(len));
+    EXPECT_THROW(wire::decode_peer_hello(cut), wire::WireError) << len;
+  }
+}
+
 TEST(Wire, BoundariesRoundTripsBothPhases) {
   wire::Boundaries pre;
   pre.src = 3;
@@ -396,7 +443,10 @@ TEST(Wire, StepResultCarriesSpmdAggregates) {
 }
 
 TEST(Wire, ControlFramesRoundTrip) {
-  EXPECT_EQ(wire::decode_hello(wire::encode_hello(9)), 9);
+  const wire::Hello h = wire::decode_hello(wire::encode_hello(9, 40123));
+  EXPECT_EQ(h.rank, 9);
+  EXPECT_EQ(h.listen_port, 40123);
+  EXPECT_EQ(wire::decode_hello(wire::encode_hello(3)).listen_port, 0);  // star default
   EXPECT_EQ(wire::frame_type(wire::encode_shutdown()), wire::FrameType::kShutdown);
 
   domain::SimConfig cfg;
@@ -486,12 +536,12 @@ TEST(SocketTransport, RoutesWorkerToWorkerThroughCoordinator) {
   w0->post(0, 1, wire::encode_hello(42));
   auto routed = w1->recv(1);
   ASSERT_TRUE(routed.has_value());
-  EXPECT_EQ(wire::decode_hello(*routed), 42);
+  EXPECT_EQ(wire::decode_hello(*routed).rank, 42);
 
   w1->post(1, domain::kCoordinatorRank, wire::encode_hello(7));
   auto up = coord->recv(domain::kCoordinatorRank);
   ASSERT_TRUE(up.has_value());
-  EXPECT_EQ(wire::decode_hello(*up), 7);
+  EXPECT_EQ(wire::decode_hello(*up).rank, 7);
 
   coord->post(domain::kCoordinatorRank, 0, wire::encode_shutdown());
   auto down = w0->recv(0);
