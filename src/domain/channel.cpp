@@ -5,6 +5,7 @@
 #include "domain/transport.hpp"
 #include "util/check.hpp"
 #include "util/timer.hpp"
+#include "util/trace.hpp"
 
 namespace bonsai::domain {
 
@@ -26,10 +27,13 @@ std::size_t LetExchange::remaining(int dst) const {
 
 std::size_t LetExchange::post(int src, int dst, const LetTree& let, double export_seconds) {
   BONSAI_CHECK(src != dst);
+  trace::ScopedSpan span("wire.encode.let", src, src);
+  span.set_peer(dst);
   WallTimer timer;
   std::vector<std::uint8_t> frame =
       wire::encode_let({src, let, export_seconds, /*wire_bytes=*/0});
   const std::size_t bytes = frame.size();
+  span.set_bytes(static_cast<std::int64_t>(bytes));
   wire::WireStats& ws = encode_[static_cast<std::size_t>(src)];
   ws.frames += 1;
   ws.bytes += bytes;
@@ -41,10 +45,17 @@ std::size_t LetExchange::post(int src, int dst, const LetTree& let, double expor
 std::optional<wire::LetMessage> LetExchange::recv(int dst) {
   std::size_t& remaining = remaining_[static_cast<std::size_t>(dst)];
   if (remaining == 0) return std::nullopt;
-  std::optional<std::vector<std::uint8_t>> frame = transport_.recv(dst);
+  std::optional<std::vector<std::uint8_t>> frame;
+  {
+    trace::ScopedSpan wait("let.recv.wait", dst, dst);
+    frame = transport_.recv(dst);
+  }
   BONSAI_CHECK_MSG(frame.has_value(), "LET endpoint closed before all expected arrivals");
+  trace::ScopedSpan span("wire.decode.let", dst, dst);
+  span.set_bytes(static_cast<std::int64_t>(frame->size()));
   WallTimer timer;
   wire::LetMessage msg = wire::decode_let(*frame);
+  span.set_peer(msg.src);
   decode_[static_cast<std::size_t>(dst)].decode_seconds += timer.elapsed();
   --remaining;
   return msg;
@@ -75,9 +86,12 @@ std::size_t MigrationExchange::remaining(int dst) const {
 
 std::size_t MigrationExchange::post(int src, int dst, const ParticleSet& parts, int step) {
   BONSAI_CHECK(src != dst);
+  trace::ScopedSpan span("wire.encode.migration", src, src, step);
+  span.set_peer(dst);
   WallTimer timer;
   std::vector<std::uint8_t> frame = wire::encode_migration(src, step, parts);
   const std::size_t bytes = frame.size();
+  span.set_bytes(static_cast<std::int64_t>(bytes));
   wire::WireStats& ws = encode_[static_cast<std::size_t>(src)];
   ws.frames += 1;
   ws.bytes += bytes;
@@ -89,11 +103,18 @@ std::size_t MigrationExchange::post(int src, int dst, const ParticleSet& parts, 
 std::optional<wire::MigrationMsg> MigrationExchange::recv(int dst, int step) {
   std::size_t& remaining = remaining_[static_cast<std::size_t>(dst)];
   if (remaining == 0) return std::nullopt;
-  std::optional<std::vector<std::uint8_t>> frame = transport_.recv(dst);
+  std::optional<std::vector<std::uint8_t>> frame;
+  {
+    trace::ScopedSpan wait("migration.recv.wait", dst, dst, step);
+    frame = transport_.recv(dst);
+  }
   BONSAI_CHECK_MSG(frame.has_value(),
                    "migration endpoint closed before all expected batches");
+  trace::ScopedSpan span("wire.decode.migration", dst, dst, step);
+  span.set_bytes(static_cast<std::int64_t>(frame->size()));
   WallTimer timer;
   wire::MigrationMsg msg = wire::decode_migration(*frame);
+  span.set_peer(msg.src);
   decode_[static_cast<std::size_t>(dst)].decode_seconds += timer.elapsed();
   BONSAI_CHECK_MSG(msg.step == step, "migration batch from a different step");
   --remaining;

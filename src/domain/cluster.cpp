@@ -13,6 +13,7 @@
 #include "domain/channel.hpp"
 #include "domain/wire.hpp"
 #include "util/check.hpp"
+#include "util/trace.hpp"
 
 namespace bonsai::domain {
 
@@ -122,6 +123,10 @@ ClusterSimulation::ClusterSimulation(const ClusterConfig& cfg) : cfg_(cfg) {
   decomp_ = Decomposition::uniform(cfg_.sim.nranks);
   migrate_net_ = std::make_unique<InProcTransport>(cfg_.sim.nranks);
   migrate_rec_ = std::make_unique<TrafficRecordingTransport>(*migrate_net_);
+
+  // Tracing is decided before any worker exists; workers inherit the flag
+  // from the Config frame and enable their own process's tracer on receipt.
+  if (cfg_.sim.trace) trace::Tracer::instance().set_enabled(true);
 
   net_ = SocketTransport::listen(cfg_.port, cfg_.sim.nranks, cfg_.topology);
   if (cfg_.on_listen) cfg_.on_listen(net_->port());
@@ -239,10 +244,34 @@ StepReport ClusterSimulation::step() {
 
 wire::StepResult ClusterSimulation::recv_step_result(TrafficRecordingTransport& rec,
                                                      StepReport& report,
-                                                     std::vector<std::uint8_t>& seen) {
-  std::optional<std::vector<std::uint8_t>> frame = net_->recv(kCoordinatorRank);
-  BONSAI_CHECK_MSG(frame.has_value(), "a worker disconnected before its step result (" +
-                                          net_->close_reason() + ")");
+                                                     std::vector<std::uint8_t>& seen,
+                                                     std::span<const std::int64_t> post_ns,
+                                                     std::vector<trace::Span>& spans) {
+  std::optional<std::vector<std::uint8_t>> frame;
+  for (;;) {
+    {
+      trace::ScopedSpan wait("cluster.recv.result", kCoordinatorRank);
+      frame = net_->recv(kCoordinatorRank);
+    }
+    BONSAI_CHECK_MSG(frame.has_value(), "a worker disconnected before its step result (" +
+                                            net_->close_reason() + ")");
+    if (wire::frame_type(*frame) != wire::FrameType::kTrace) break;
+    // A worker's observability sidecar, sent just ahead of its StepResult:
+    // estimate the worker's clock offset from the StepBegin/Trace round-trip
+    // and merge its spans onto the coordinator's clock.
+    const std::int64_t arrive_ns = now_ns();
+    wire::TraceFrame tf = wire::decode_trace(*frame);
+    BONSAI_CHECK_MSG(tf.src >= 0 && tf.src < static_cast<int>(post_ns.size()),
+                     "trace frame from an impossible rank");
+    trace::ClockSync sync;
+    sync.coord_post_ns = post_ns[static_cast<std::size_t>(tf.src)];
+    sync.coord_arrive_ns = arrive_ns;
+    sync.worker_recv_ns = tf.recv_ns;
+    sync.worker_send_ns = tf.send_ns;
+    trace::shift_spans(tf.spans, trace::estimate_clock_offset(sync));
+    spans.insert(spans.end(), std::make_move_iterator(tf.spans.begin()),
+                 std::make_move_iterator(tf.spans.end()));
+  }
   WallTimer timer;
   wire::StepResult sr = wire::decode_step_result(*frame);
   report.part_wire.decode_seconds += timer.elapsed();
@@ -291,6 +320,7 @@ StepReport ClusterSimulation::step_hub() {
   // come back (with forces) in the results, so the coordinator never holds
   // two copies. Inactive workers get an empty batch to keep the protocol
   // uniform: every worker answers every step.
+  std::vector<std::int64_t> post_ns(nranks, 0);
   for (std::size_t r = 0; r < nranks; ++r) {
     wire::StepBegin sb;
     sb.step = report.step;
@@ -299,18 +329,23 @@ StepReport ClusterSimulation::step_hub() {
     sb.active = active;
     sb.boxes = boxes;
     sb.parts = std::move(sets_[r]);
+    trace::ScopedSpan span("cluster.post.step_begin", kCoordinatorRank, 0, report.step);
+    span.set_peer(static_cast<std::int64_t>(r));
     WallTimer timer;
     std::vector<std::uint8_t> frame = wire::encode_step_begin(sb);
     report.part_wire.encode_seconds += timer.elapsed();
     report.part_wire.frames += 1;
     report.part_wire.bytes += frame.size();
+    span.set_bytes(static_cast<std::int64_t>(frame.size()));
+    post_ns[r] = now_ns();
     rec.post(kCoordinatorRank, static_cast<int>(r), std::move(frame));
   }
 
   // Collect one result per worker, in arrival order.
   std::vector<std::uint8_t> seen(nranks, 0);
+  std::vector<trace::Span> worker_spans;
   for (std::size_t i = 0; i < nranks; ++i) {
-    wire::StepResult sr = recv_step_result(rec, report, seen);
+    wire::StepResult sr = recv_step_result(rec, report, seen, post_ns, worker_spans);
     const auto r = static_cast<std::size_t>(sr.rank);
     sets_[r] = std::move(sr.parts);
     rank_times[r] = std::move(sr.times);
@@ -329,6 +364,15 @@ StepReport ClusterSimulation::step_hub() {
   wire::merge_traffic(report.routed, net_->take_routed());
   fold_stage_times(report, driver_times, rank_times);
   report.elapsed = wall.elapsed();
+  // drain_thread, not drain_all: in-process test workers drain their own
+  // buffers, which this driver must not steal from.
+  if (trace::Tracer::instance().enabled()) {
+    report.spans = trace::Tracer::instance().drain_thread();
+    report.spans.insert(report.spans.end(),
+                        std::make_move_iterator(worker_spans.begin()),
+                        std::make_move_iterator(worker_spans.end()));
+  }
+  report.metrics = build_step_metrics(report);
   return report;
 }
 
@@ -347,27 +391,33 @@ StepReport ClusterSimulation::step_spmd() {
   // themselves and report only aggregates.
   const bool bootstrap = bootstrap_pending_;
   bootstrap_pending_ = false;
+  std::vector<std::int64_t> post_ns(nranks, 0);
   for (std::size_t r = 0; r < nranks; ++r) {
     wire::StepBegin sb;
     sb.step = report.step;
     sb.mode = bootstrap ? wire::StepMode::kSpmdBootstrap : wire::StepMode::kSpmdStep;
     if (bootstrap) sb.parts = std::move(sets_[r]);
+    trace::ScopedSpan span("cluster.post.step_begin", kCoordinatorRank, 0, report.step);
+    span.set_peer(static_cast<std::int64_t>(r));
     WallTimer timer;
     std::vector<std::uint8_t> frame = wire::encode_step_begin(sb);
     report.part_wire.encode_seconds += timer.elapsed();
     report.part_wire.frames += 1;
     report.part_wire.bytes += frame.size();
+    span.set_bytes(static_cast<std::int64_t>(frame.size()));
+    post_ns[r] = now_ns();
     rec.post(kCoordinatorRank, static_cast<int>(r), std::move(frame));
   }
 
   std::vector<TimeBreakdown> rank_times(nranks);
   std::vector<std::uint8_t> seen(nranks, 0);
+  std::vector<trace::Span> worker_spans;
   std::vector<sfc::Key> agreed_bounds;
   std::size_t total = 0;
   std::uint64_t migrated = 0;
   double kinetic = 0.0, potential = 0.0;
   for (std::size_t i = 0; i < nranks; ++i) {
-    wire::StepResult sr = recv_step_result(rec, report, seen);
+    wire::StepResult sr = recv_step_result(rec, report, seen, post_ns, worker_spans);
     rank_times[static_cast<std::size_t>(sr.rank)] = std::move(sr.times);
     total += sr.local_count;
     migrated += sr.migrated;
@@ -397,6 +447,13 @@ StepReport ClusterSimulation::step_spmd() {
   TimeBreakdown driver_times;
   fold_stage_times(report, driver_times, rank_times);
   report.elapsed = wall.elapsed();
+  if (trace::Tracer::instance().enabled()) {
+    report.spans = trace::Tracer::instance().drain_thread();
+    report.spans.insert(report.spans.end(),
+                        std::make_move_iterator(worker_spans.begin()),
+                        std::make_move_iterator(worker_spans.end()));
+  }
+  report.metrics = build_step_metrics(report);
   return report;
 }
 
@@ -516,10 +573,25 @@ void run_spmd_step(Rank& rank, const SimConfig& cfg, int step, FrameDemux& demux
                               (why.empty() ? "" : " (" + why + ")"));
   };
 
+  // Phase spans cannot be RAII here (scopes span declarations the tail
+  // needs), so they are emitted manually at each phase boundary.
+  auto emit_phase = [&](const char* name, std::int64_t begin_ns) {
+    if (!trace::Tracer::instance().enabled()) return;
+    trace::RawSpan span;
+    span.name = name;
+    span.begin_ns = begin_ns;
+    span.end_ns = now_ns();
+    span.rank = self;
+    span.lane = self;
+    span.step = step;
+    trace::Tracer::instance().emit(span);
+  };
+
   // --- Phase 1: pre-migration allgather of bounds/population/cost weight ---
   // After it, every rank holds the identical inputs the centralized
   // update_domain() consumes, so the KeySpace, stride and weight vector are
   // bitwise-identical on all ranks.
+  const std::int64_t phase_domain_ns = now_ns();
   WallTimer domain_timer;
   wire::Boundaries pre;
   pre.src = self;
@@ -599,11 +671,13 @@ void run_spmd_step(Rank& rank, const SimConfig& cfg, int step, FrameDemux& demux
   sr.boundaries.assign(decomp.boundaries().begin(), decomp.boundaries().end());
   const double dom_wire_pre = dom_ws.encode_seconds + dom_ws.decode_seconds;
   times.add("Domain update", std::max(0.0, domain_timer.elapsed() - dom_wire_pre));
+  emit_phase("domain.update", phase_domain_ns);
 
   // --- Phase 3: peer-to-peer migration (the alltoallv, boundary crossers
   // only), then phase 4: post-migration allgather of the active set and the
   // tight domain boxes peers build LETs against. Phase 3's recv loop is the
   // migration barrier: no rank proceeds before owning its full new slice.
+  const std::int64_t phase_migrate_ns = now_ns();
   WallTimer exchange_timer;
   DemuxTransport mig_net(demux, out, FrameDemux::Class::kMigration);
   MigrationExchange mex(mig_net, nranks);
@@ -647,6 +721,7 @@ void run_spmd_step(Rank& rank, const SimConfig& cfg, int step, FrameDemux& demux
   times.add("Exchange particles", std::max(0.0, exchange_timer.elapsed() - exchange_wire));
   times.add("Wire encode", dom_ws.encode_seconds + part_ws.encode_seconds);
   times.add("Wire decode", dom_ws.decode_seconds + part_ws.decode_seconds);
+  emit_phase("decomposition.migrate", phase_migrate_ns);
   sr.dom_wire = dom_ws;
   sr.part_wire = part_ws;
 
@@ -686,6 +761,7 @@ int run_worker(const std::string& host, std::uint16_t port, int rank_id,
                    "worker rank id outside the configured rank count");
   cfg.threads_per_rank = threads;
   cfg.async = true;
+  if (cfg.trace) trace::Tracer::instance().set_enabled(true);
   Rank rank(rank_id, threads_for(cfg, std::thread::hardware_concurrency()));
   SpmdState st;
 
@@ -705,6 +781,9 @@ int run_worker(const std::string& host, std::uint16_t port, int rank_id,
     WallTimer decode_timer;
     wire::StepBegin sb = wire::decode_step_begin(*frame);
     const double sb_decode_s = decode_timer.elapsed();
+    // Worker-local clock sample for the coordinator's offset estimate: as
+    // close as possible to the moment the StepBegin was in hand.
+    const std::int64_t recv_ns = now_ns();
 
     if (sb.mode == wire::StepMode::kCollect) {
       // Snapshot request: ship the resident particles (forces included)
@@ -744,6 +823,46 @@ int run_worker(const std::string& host, std::uint16_t port, int rank_id,
     }
     sr.times = times;
     sr.traffic = out.take();
+    if (cfg.trace) {
+      // The step's spans ship just ahead of the StepResult. The overall step
+      // span is emitted manually (its natural scope would outlive the drain),
+      // then the whole buffer is drained — only this thread's: concurrent
+      // in-process workers must not steal each other's spans. The worker's
+      // own metric deltas ride along for the wire tests and per-rank tooling;
+      // the coordinator's bench metrics are rebuilt from the aggregated
+      // report, not from these.
+      trace::RawSpan step_span;
+      step_span.name = "worker.step";
+      step_span.begin_ns = recv_ns;
+      step_span.end_ns = now_ns();
+      step_span.rank = rank_id;
+      step_span.lane = rank_id;
+      step_span.step = sb.step;
+      trace::Tracer::instance().emit(step_span);
+      wire::TraceFrame tf;
+      tf.src = rank_id;
+      tf.step = sb.step;
+      tf.recv_ns = recv_ns;
+      tf.spans = trace::Tracer::instance().drain_thread();
+      StepReport wr;
+      wr.step = sb.step;
+      wr.num_particles = sr.local_count;
+      wr.migrated = sr.migrated;
+      wr.let_cells = sr.let_cells;
+      wr.let_particles = sr.let_particles;
+      wr.local_stats = sr.local_stats;
+      wr.remote_stats = sr.remote_stats;
+      wr.let_wire = sr.let_wire;
+      wr.part_wire = sr.part_wire;
+      wr.dom_wire = sr.dom_wire;
+      wr.let_sizes = sr.let_sizes;
+      wr.traffic = sr.traffic;
+      tf.metrics = build_step_metrics(wr);
+      tf.send_ns = now_ns();
+      // Like the collect reply, the sidecar bypasses the traffic recorder:
+      // observability must not perturb the step's own traffic matrix.
+      net->post(rank_id, kCoordinatorRank, wire::encode_trace(tf));
+    }
     WallTimer encode_timer;
     std::vector<std::uint8_t> result = wire::encode_step_result(sr);
     pending_result_encode_s = encode_timer.elapsed();

@@ -116,9 +116,14 @@ class ClusterSimulation {
   StepReport step_spmd();
   // Shared receive half of both step drivers: the next worker's decoded,
   // deduplicated StepResult, with the mode-independent aggregates (wire
-  // volumes, LET statistics, traffic) already folded into `report`.
+  // volumes, LET statistics, traffic) already folded into `report`. Trace
+  // frames interleaved with the results are absorbed on the way: their spans
+  // are clock-shifted onto the coordinator's clock (post_ns holds the
+  // per-rank StepBegin post times of this step) and appended to `spans`.
   wire::StepResult recv_step_result(TrafficRecordingTransport& rec, StepReport& report,
-                                    std::vector<std::uint8_t>& seen);
+                                    std::vector<std::uint8_t>& seen,
+                                    std::span<const std::int64_t> post_ns,
+                                    std::vector<trace::Span>& spans);
 
   ClusterConfig cfg_;
   std::unique_ptr<SocketTransport> net_;

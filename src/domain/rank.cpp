@@ -1,17 +1,22 @@
 #include "domain/rank.hpp"
 
+#include "util/trace.hpp"
+
 namespace bonsai::domain {
 
 void Rank::build(const sfc::KeySpace& space, const SimConfig& cfg, TimeBreakdown& times) {
   {
+    trace::ScopedSpan span("rank.sort", id_, id_);
     ScopedTimer t(times, "Sorting SFC");
     device_.sort_particles(parts_, space);
   }
   {
+    trace::ScopedSpan span("rank.build", id_, id_);
     ScopedTimer t(times, "Tree-construction");
     device_.build_tree(parts_, tree_, cfg.nleaf);
   }
   {
+    trace::ScopedSpan span("rank.properties", id_, id_);
     ScopedTimer t(times, "Tree-properties");
     device_.compute_properties(parts_, tree_, cfg.theta);
     groups_ = make_groups(parts_, cfg.ncrit);
@@ -20,6 +25,7 @@ void Rank::build(const sfc::KeySpace& space, const SimConfig& cfg, TimeBreakdown
 }
 
 InteractionStats Rank::gravity_local(const SimConfig& cfg, TimeBreakdown& times) {
+  trace::ScopedSpan span("gravity.local", id_, id_);
   ScopedTimer t(times, "Gravity local");
   if (parts_.empty()) return {};
   return device_.compute_forces(tree_.view(parts_), parts_, groups_, cfg.traversal(),
@@ -35,6 +41,7 @@ InteractionStats Rank::gravity_remote(const TreeView& forest, const SimConfig& c
 }
 
 void Rank::integrate(double dt, TimeBreakdown& times) {
+  trace::ScopedSpan span("rank.integrate", id_, id_);
   ScopedTimer t(times, "Integration");
   ParticleSet& p = parts_;
   device_.parallel_for(p.size(), [&](std::size_t i) {

@@ -43,6 +43,8 @@ struct SimConfig {
                                               // false = lockstep stage loop
   BalanceMode balance = BalanceMode::kCount;  // feedback balancing needs a
                                               // previous step's gravity times
+  bool trace = false;                         // record spans (--trace); shipped
+                                              // to workers in the Config frame
 
   TraversalConfig traversal() const {
     TraversalConfig t;

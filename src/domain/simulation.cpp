@@ -193,6 +193,7 @@ DomainUpdate redistribute_sets(std::vector<ParticleSet>& sets, const SimConfig& 
                                TimeBreakdown& driver_times) {
   DomainUpdate du;
   {
+    trace::ScopedSpan span("decomposition.update");
     ScopedTimer t(driver_times, "Domain update");
     const std::vector<double> weight =
         cost_weights(cfg, prev_gravity_seconds, prev_rank_size);
@@ -205,6 +206,7 @@ DomainUpdate redistribute_sets(std::vector<ParticleSet>& sets, const SimConfig& 
   {
     // Manual timing so the serialization cost of the migration batches lands
     // in the wire rows instead of double-counting inside the exchange row.
+    trace::ScopedSpan span("decomposition.exchange");
     WallTimer timer;
     wire::WireStats ws;
     const ExchangeStats ex = exchange(sets, du.space, du.decomp, transport, &ws);
@@ -232,6 +234,8 @@ RankStepStats run_rank_step(Rank& rank, const SimConfig& cfg, LetExchange& net,
     for (; next_peer < nranks; ++next_peer) {
       const std::size_t dst = (r + next_peer) % nranks;
       if (!active[dst]) continue;
+      trace::ScopedSpan span("let.export", rank.id(), rank.id());
+      span.set_peer(static_cast<std::int64_t>(dst));
       WallTimer timer;
       LetTree let = rank.export_let(boxes[dst]);
       const double secs = timer.elapsed();
@@ -239,7 +243,8 @@ RankStepStats run_rank_step(Rank& rank, const SimConfig& cfg, LetExchange& net,
       if (lane) lane->exports.emplace_back(static_cast<int>(dst), secs);
       out.let_cells += let.num_cells();
       out.let_particles += let.num_particles();
-      net.post(static_cast<int>(r), static_cast<int>(dst), let, secs);
+      span.set_bytes(static_cast<std::int64_t>(
+          net.post(static_cast<int>(r), static_cast<int>(dst), let, secs)));
     }
 
     rank.parts().zero_forces();
@@ -251,6 +256,9 @@ RankStepStats run_rank_step(Rank& rank, const SimConfig& cfg, LetExchange& net,
     while (std::optional<wire::LetMessage> msg = net.recv(static_cast<int>(r))) {
       out.let_sizes.push_back(
           {msg->let.num_cells(), msg->let.num_particles(), msg->wire_bytes});
+      trace::ScopedSpan span("gravity.remote", rank.id(), rank.id());
+      span.set_peer(msg->src);
+      span.set_bytes(static_cast<std::int64_t>(msg->wire_bytes));
       const double before = times.get("Gravity remote");
       out.remote_stats += rank.gravity_remote(msg->let.view(), cfg, times);
       if (lane) lane->remotes.emplace_back(msg->src, times.get("Gravity remote") - before);
@@ -319,6 +327,11 @@ StepReport Simulation::step() {
   fold_stage_times(report, driver_times, rank_times);
   report.traffic = transport_->take();
   report.elapsed = wall.elapsed();
+  // Lane threads write their own ring buffers, so the in-process driver must
+  // drain every thread (cluster drivers drain only their own: drain_thread).
+  if (trace::Tracer::instance().enabled())
+    report.spans = trace::Tracer::instance().drain_all();
+  report.metrics = build_step_metrics(report);
   return report;
 }
 
@@ -387,6 +400,8 @@ void Simulation::step_async(StepReport& report, std::vector<TimeBreakdown>& rank
       // knows which posts are still owed.
       std::size_t next_peer = 1;
       try {
+        trace::ScopedSpan lane_span("lane.step", static_cast<std::int32_t>(r),
+                                    static_cast<std::int32_t>(r), report.step);
         Rank& rank = *ranks_[r];
         TimeBreakdown& times = rank_times[r];
         LaneTimeline& lane = lanes[r];
@@ -616,10 +631,88 @@ void print_step_report(const StepReport& report, std::ostream& os) {
   }
 }
 
-void write_step_report_json(std::span<const StepReport> reports, std::ostream& os) {
+namespace {
+
+// Labeled metric name: base{src=S,dst=D,type=T} for one traffic-matrix cell.
+std::string traffic_label(const char* base, const wire::PeerTraffic& t) {
+  return std::string(base) + "{src=" + std::to_string(t.src) +
+         ",dst=" + std::to_string(t.dst) +
+         ",type=" + wire::frame_type_name(static_cast<wire::FrameType>(t.type)) + "}";
+}
+
+void fold_wire_stats(metrics::Snapshot& m, const char* kind, const wire::WireStats& ws) {
+  const std::string base = std::string("wire.") + kind;
+  m.counters[base + ".frames"] = static_cast<double>(ws.frames);
+  m.counters[base + ".bytes"] = static_cast<double>(ws.bytes);
+  m.counters[base + ".encode_s"] = ws.encode_seconds;
+  m.counters[base + ".decode_s"] = ws.decode_seconds;
+}
+
+}  // namespace
+
+metrics::Snapshot build_step_metrics(const StepReport& r) {
+  metrics::Snapshot m;
+  m.counters["step.migrated"] = static_cast<double>(r.migrated);
+  m.counters["step.let_cells"] = static_cast<double>(r.let_cells);
+  m.counters["step.let_particles"] = static_cast<double>(r.let_particles);
+  m.counters["gravity.local.p2p"] = static_cast<double>(r.local_stats.p2p);
+  m.counters["gravity.local.p2c"] = static_cast<double>(r.local_stats.p2c);
+  m.counters["gravity.remote.p2p"] = static_cast<double>(r.remote_stats.p2p);
+  m.counters["gravity.remote.p2c"] = static_cast<double>(r.remote_stats.p2c);
+  fold_wire_stats(m, "let", r.let_wire);
+  fold_wire_stats(m, "part", r.part_wire);
+  fold_wire_stats(m, "dom", r.dom_wire);
+  for (const wire::PeerTraffic& t : r.traffic) {
+    m.counters[traffic_label("transport.post.frames", t)] = static_cast<double>(t.frames);
+    m.counters[traffic_label("transport.post.bytes", t)] = static_cast<double>(t.bytes);
+  }
+  for (const wire::PeerTraffic& t : r.routed) {
+    m.counters[traffic_label("transport.routed.frames", t)] = static_cast<double>(t.frames);
+    m.counters[traffic_label("transport.routed.bytes", t)] = static_cast<double>(t.bytes);
+  }
+  m.gauges["step.num_particles"] = static_cast<double>(r.num_particles);
+  m.gauges["step.elapsed_s"] = r.elapsed;
+  if (r.async) {
+    m.gauges["schedule.critical_path_s"] = r.critical_path;
+    m.gauges["schedule.sequential_model_s"] = r.sequential_model;
+    m.gauges["schedule.gravity_critical_s"] = r.gravity_critical;
+    m.gauges["schedule.gravity_sequential_s"] = r.gravity_sequential;
+    m.gauges["schedule.overlap_efficiency"] = r.overlap_efficiency();
+  }
+  for (const auto& e : r.max_times.entries())
+    m.gauges["stage.max_s{stage=" + e.name + "}"] = e.seconds;
+  for (const auto& e : r.sum_times.entries())
+    m.gauges["stage.sum_s{stage=" + e.name + "}"] = e.seconds;
+  // Pow-2 LET frame-size buckets, 16 B .. 4 GiB (the print histogram's scheme
+  // with fixed bounds so snapshots merge across ranks and steps).
+  const std::vector<double> bounds = metrics::pow2_bounds(4, 32);
+  if (!r.let_sizes.empty()) {
+    metrics::HistogramData h;
+    h.bounds = bounds;
+    h.counts.assign(bounds.size() + 1, 0);
+    for (const wire::LetSizeSample& s : r.let_sizes) {
+      const auto v = static_cast<double>(s.bytes);
+      std::size_t b = 0;
+      while (b < h.bounds.size() && v > h.bounds[b]) ++b;
+      ++h.counts[b];
+      ++h.count;
+      h.sum += v;
+    }
+    m.histograms["let.size.bytes"] = std::move(h);
+  }
+  return m;
+}
+
+void write_step_report_json(const RunInfo& info, std::span<const StepReport> reports,
+                            std::ostream& os) {
   const auto flags = os.flags();
   const auto precision = os.precision(12);
-  os << "[";
+  os << "{\"schema\": 1,\n \"config\": {\"ranks\": " << info.ranks
+     << ", \"num_particles\": " << info.num_particles << ", \"theta\": " << info.theta
+     << ", \"transport\": \"" << info.transport << "\", \"topology\": \"" << info.topology
+     << "\", \"cluster\": \"" << info.cluster << "\", \"balance\": \"" << info.balance
+     << "\", \"async\": " << (info.async ? "true" : "false")
+     << ", \"wire_version\": " << info.wire_version << "},\n \"steps\": [";
   for (std::size_t i = 0; i < reports.size(); ++i) {
     const StepReport& r = reports[i];
     const InteractionStats stats = r.stats();
@@ -675,9 +768,12 @@ void write_step_report_json(std::span<const StepReport> reports, std::ostream& o
          << entries[e].seconds << ", \"sum_s\": " << r.sum_times.get(entries[e].name)
          << '}';
     }
-    os << "}}";
+    os << "}";
+    os << ",\n   \"metrics\": ";
+    metrics::to_json(os, r.metrics);
+    os << "}";
   }
-  os << "\n]\n";
+  os << "\n]}\n";
   os.precision(precision);
   os.flags(flags);
 }

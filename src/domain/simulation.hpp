@@ -34,12 +34,14 @@
 #include "domain/channel.hpp"
 #include "domain/decomposition.hpp"
 #include "domain/executor.hpp"
+#include "domain/metrics.hpp"
 #include "domain/rank.hpp"
 #include "domain/schedule.hpp"
 #include "domain/transport.hpp"
 #include "domain/wire.hpp"
 #include "util/flops.hpp"
 #include "util/timer.hpp"
+#include "util/trace.hpp"
 
 namespace bonsai::domain {
 
@@ -82,6 +84,15 @@ struct StepReport {
   double sequential_model = 0.0;
   double gravity_critical = 0.0;
   double gravity_sequential = 0.0;
+
+  // The step's metrics-registry view of the aggregates above, built by
+  // build_step_metrics() once the report is final — identical numbers to the
+  // legacy wire/traffic/routed/let_sizes fields by construction.
+  metrics::Snapshot metrics;
+
+  // Tracing runs only: every span recorded this step, already merged across
+  // ranks (and, in cluster runs, clock-shifted onto the coordinator's clock).
+  std::vector<trace::Span> spans;
 
   InteractionStats stats() const { return local_stats + remote_stats; }
 
@@ -212,8 +223,31 @@ void fold_stage_times(StepReport& report, const TimeBreakdown& driver_times,
 // the pipeline/overlap lines for async steps.
 void print_step_report(const StepReport& report, std::ostream& os);
 
-// Emit reports as a JSON array (the --bench trajectory format): per-stage
-// max/sum seconds, interaction counts, Gflop/s, and the schedule model.
-void write_step_report_json(std::span<const StepReport> reports, std::ostream& os);
+// Rebuild a report's aggregates as a metrics Snapshot (stable dotted names,
+// per-peer traffic as labeled counters, LET sizes as a pow-2 histogram). A
+// pure function of the final report, so the registry view can never drift
+// from the legacy fields. Every driver assigns the result to report.metrics.
+metrics::Snapshot build_step_metrics(const StepReport& report);
+
+// Run-level metadata for the --bench JSON header, so trajectory tooling can
+// tell configurations apart without parsing command lines.
+struct RunInfo {
+  int ranks = 0;
+  std::size_t num_particles = 0;
+  double theta = 0.0;
+  std::string transport = "inproc";  // "inproc" | "socket"
+  std::string topology = "none";     // "none" | "star" | "mesh"
+  std::string cluster = "none";      // "none" | "hub" | "spmd"
+  std::string balance = "count";     // "count" | "cost"
+  bool async = true;
+  int wire_version = wire::kVersion;
+};
+
+// Emit reports as a JSON object {"schema": 1, "config": {...run metadata...},
+// "steps": [...]} (the --bench trajectory format): per-stage max/sum seconds,
+// interaction counts, Gflop/s, the schedule model, and the metrics registry
+// block next to the legacy wire/traffic fields it subsumes.
+void write_step_report_json(const RunInfo& info, std::span<const StepReport> reports,
+                            std::ostream& os);
 
 }  // namespace bonsai::domain

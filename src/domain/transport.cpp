@@ -16,6 +16,7 @@
 
 #include "util/check.hpp"
 #include "util/timer.hpp"
+#include "util/trace.hpp"
 
 namespace bonsai::domain {
 
@@ -204,6 +205,9 @@ void InProcTransport::close(int dst) {
 void TrafficRecordingTransport::post(int src, int dst, std::vector<std::uint8_t> frame) {
   // Locally produced frames always carry a full header, but stay defensive
   // for raw test payloads.
+  trace::ScopedSpan span("transport.post", src, src);
+  span.set_peer(dst);
+  span.set_bytes(static_cast<std::int64_t>(frame.size()));
   record(src, dst, peek_type(frame), frame.size());
   inner_.post(src, dst, std::move(frame));
 }

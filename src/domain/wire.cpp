@@ -284,6 +284,7 @@ const char* frame_type_name(FrameType type) {
     case FrameType::kMigration: return "Migration";
     case FrameType::kPeerDirectory: return "PeerDirectory";
     case FrameType::kPeerHello: return "PeerHello";
+    case FrameType::kTrace: return "Trace";
   }
   return "Unknown";
 }
@@ -442,6 +443,7 @@ std::vector<std::uint8_t> encode_config(const SimConfig& cfg) {
   w.u64(cfg.samples_per_rank);
   w.i32(cfg.snap_level);
   w.u8(cfg.balance == BalanceMode::kCost ? 1 : 0);
+  w.u8(cfg.trace ? 1 : 0);
   return w.finish();
 }
 
@@ -459,6 +461,7 @@ SimConfig decode_config(std::span<const std::uint8_t> frame) {
   cfg.samples_per_rank = r.u64();
   cfg.snap_level = r.i32();
   cfg.balance = r.u8() != 0 ? BalanceMode::kCost : BalanceMode::kCount;
+  cfg.trace = r.u8() != 0;
   r.done();
   r.require(cfg.nranks >= 1 && cfg.nranks <= 255, "config rank count out of range");
   return cfg;
@@ -675,6 +678,130 @@ StepResult decode_step_result(std::span<const std::uint8_t> frame) {
   sr.parts = std::move(batch.parts);
   r.done();
   return sr;
+}
+
+namespace {
+
+void put_string(Writer& w, const std::string& s) {
+  w.u32(static_cast<std::uint32_t>(s.size()));
+  for (const char c : s) w.u8(static_cast<std::uint8_t>(c));
+}
+
+std::string read_string(Reader& r, const char* what) {
+  const std::size_t len = r.array_count(r.u32(), 1, what);
+  std::string s(len, '\0');
+  for (char& c : s) c = static_cast<char>(r.u8());
+  return s;
+}
+
+void put_i64(Writer& w, std::int64_t v) { w.u64(static_cast<std::uint64_t>(v)); }
+std::int64_t read_i64(Reader& r) { return static_cast<std::int64_t>(r.u64()); }
+
+// Minimum wire footprint of one span: name length prefix + the fixed fields.
+constexpr std::size_t kSpanMinBytes = 4 + 8 + 8 + 4 + 4 + 8 + 8 + 8;
+
+void put_metrics(Writer& w, const metrics::Snapshot& m) {
+  w.u32(static_cast<std::uint32_t>(m.counters.size()));
+  for (const auto& [name, v] : m.counters) {
+    put_string(w, name);
+    w.f64(v);
+  }
+  w.u32(static_cast<std::uint32_t>(m.gauges.size()));
+  for (const auto& [name, v] : m.gauges) {
+    put_string(w, name);
+    w.f64(v);
+  }
+  w.u32(static_cast<std::uint32_t>(m.histograms.size()));
+  for (const auto& [name, h] : m.histograms) {
+    BONSAI_CHECK(h.counts.size() == h.bounds.size() + 1);
+    put_string(w, name);
+    w.u32(static_cast<std::uint32_t>(h.bounds.size()));
+    w.f64_span(h.bounds);
+    w.u64_span(h.counts);
+    w.u64(h.count);
+    w.f64(h.sum);
+  }
+}
+
+metrics::Snapshot read_metrics(Reader& r) {
+  metrics::Snapshot m;
+  const std::size_t ncounters =
+      r.array_count(r.u32(), 4 + 8, "metric counter count exceeds payload");
+  for (std::size_t i = 0; i < ncounters; ++i) {
+    std::string name = read_string(r, "metric name exceeds payload");
+    m.counters[std::move(name)] = r.f64();
+  }
+  const std::size_t ngauges =
+      r.array_count(r.u32(), 4 + 8, "metric gauge count exceeds payload");
+  for (std::size_t i = 0; i < ngauges; ++i) {
+    std::string name = read_string(r, "metric name exceeds payload");
+    m.gauges[std::move(name)] = r.f64();
+  }
+  const std::size_t nhists =
+      r.array_count(r.u32(), 4 + 4 + 8 + 8 + 8, "metric histogram count exceeds payload");
+  for (std::size_t i = 0; i < nhists; ++i) {
+    std::string name = read_string(r, "metric name exceeds payload");
+    metrics::HistogramData h;
+    const std::size_t nbounds =
+        r.array_count(r.u32(), 8 + 8, "histogram bound count exceeds payload");
+    h.bounds.resize(nbounds);
+    r.f64_span(h.bounds);
+    h.counts.resize(nbounds + 1);
+    r.u64_span(h.counts);
+    h.count = r.u64();
+    h.sum = r.f64();
+    m.histograms.emplace(std::move(name), std::move(h));
+  }
+  return m;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_trace(const TraceFrame& tf) {
+  Writer w(FrameType::kTrace);
+  w.i32(tf.src);
+  w.i32(tf.step);
+  put_i64(w, tf.recv_ns);
+  put_i64(w, tf.send_ns);
+  w.u32(static_cast<std::uint32_t>(tf.spans.size()));
+  for (const trace::Span& s : tf.spans) {
+    put_string(w, s.name);
+    put_i64(w, s.begin_ns);
+    put_i64(w, s.end_ns);
+    w.i32(s.rank);
+    w.i32(s.lane);
+    put_i64(w, s.step);
+    put_i64(w, s.peer);
+    put_i64(w, s.bytes);
+  }
+  put_metrics(w, tf.metrics);
+  return w.finish();
+}
+
+TraceFrame decode_trace(std::span<const std::uint8_t> frame) {
+  Reader r = open_frame(frame, FrameType::kTrace);
+  TraceFrame tf;
+  tf.src = r.i32();
+  tf.step = r.i32();
+  tf.recv_ns = read_i64(r);
+  tf.send_ns = read_i64(r);
+  const std::size_t nspans =
+      r.array_count(r.u32(), kSpanMinBytes, "span count exceeds payload");
+  tf.spans.resize(nspans);
+  for (trace::Span& s : tf.spans) {
+    s.name = read_string(r, "span name exceeds payload");
+    s.begin_ns = read_i64(r);
+    s.end_ns = read_i64(r);
+    s.rank = r.i32();
+    s.lane = r.i32();
+    s.step = read_i64(r);
+    s.peer = read_i64(r);
+    s.bytes = read_i64(r);
+    r.require(s.end_ns >= s.begin_ns, "span ends before it begins");
+  }
+  tf.metrics = read_metrics(r);
+  r.done();
+  return tf;
 }
 
 std::vector<std::uint8_t> encode_shutdown() { return Writer(FrameType::kShutdown).finish(); }

@@ -22,18 +22,22 @@
 #include <vector>
 
 #include "domain/let.hpp"
+#include "domain/metrics.hpp"
 #include "domain/rank.hpp"
 #include "tree/particle.hpp"
 #include "util/flops.hpp"
 #include "util/timer.hpp"
+#include "util/trace.hpp"
 
 namespace bonsai::domain::wire {
 
 // Frame header constants. The magic bytes spell "BNSW" on the wire.
 // Version 3 extends Hello with the worker's mesh listen port and adds the
-// PeerDirectory / PeerHello handshake frames of the mesh topology.
+// PeerDirectory / PeerHello handshake frames of the mesh topology. Version 4
+// adds the Trace frame (span traces + metric deltas shipped alongside
+// StepResult) and the trace flag in Config.
 inline constexpr std::uint32_t kMagic = 0x57534E42u;
-inline constexpr std::uint16_t kVersion = 3;
+inline constexpr std::uint16_t kVersion = 4;
 inline constexpr std::size_t kHeaderBytes = 16;
 
 enum class FrameType : std::uint16_t {
@@ -49,6 +53,7 @@ enum class FrameType : std::uint16_t {
   kMigration = 10, // SPMD peer-to-peer: owner-changing particles (alltoallv cell)
   kPeerDirectory = 11,  // coordinator -> worker: every worker's mesh endpoint
   kPeerHello = 12,      // worker -> worker: dialing rank's id on a fresh mesh link
+  kTrace = 13,          // worker -> coordinator: step spans + metric deltas
 };
 
 // Human-readable frame type name for reports ("Let", "Migration", ...).
@@ -261,6 +266,23 @@ struct StepResult {
 
 std::vector<std::uint8_t> encode_step_result(const StepResult& sr);
 StepResult decode_step_result(std::span<const std::uint8_t> frame);
+
+// A worker's observability sidecar for one step, posted just before the
+// StepResult when tracing is on: the spans its driver thread recorded, its
+// metric deltas, and the two worker-local clock samples the coordinator needs
+// for the NTP-style offset estimate (recv_ns: StepBegin decoded, send_ns:
+// Trace frame encoded — both on the worker's steady clock).
+struct TraceFrame {
+  int src = -1;
+  int step = 0;
+  std::int64_t recv_ns = 0;
+  std::int64_t send_ns = 0;
+  std::vector<trace::Span> spans;
+  metrics::Snapshot metrics;
+};
+
+std::vector<std::uint8_t> encode_trace(const TraceFrame& tf);
+TraceFrame decode_trace(std::span<const std::uint8_t> frame);
 
 std::vector<std::uint8_t> encode_shutdown();
 

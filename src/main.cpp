@@ -12,6 +12,7 @@
 #include <cmath>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <span>
 #include <string>
 #include <vector>
@@ -45,6 +46,9 @@ void register_flags(bonsai::CommandLine& cli) {
   cli.add_switch("no-async", "lockstep stage loop (the PR-1 schedule, for diffing)");
   cli.add_option("balance", "M", "count | cost (feedback on measured gravity time)");
   cli.add_option("bench", "FILE", "write per-step reports as JSON to FILE");
+  cli.add_option("trace", "FILE",
+                 "record spans and write a merged Chrome trace-event JSON "
+                 "(open in Perfetto) to FILE");
   cli.add_switch("validate", "compare forces vs 1-rank run and direct summation");
   cli.add_option("transport", "KIND",
                  "inproc | socket: where ranks live (default inproc)");
@@ -64,7 +68,7 @@ void register_flags(bonsai::CommandLine& cli) {
 }
 
 // Write the --bench trajectory; returns false (with a message) on I/O error.
-bool write_bench(const std::string& path,
+bool write_bench(const std::string& path, const bonsai::domain::RunInfo& info,
                  std::span<const bonsai::domain::StepReport> reports) {
   if (path.empty()) return true;
   std::ofstream out(path);
@@ -72,8 +76,30 @@ bool write_bench(const std::string& path,
     std::cerr << "bonsai_sim: cannot open bench file: " << path << "\n";
     return false;
   }
-  bonsai::domain::write_step_report_json(reports, out);
+  bonsai::domain::write_step_report_json(info, reports, out);
   std::cout << "bench: wrote " << reports.size() << " step report(s) to " << path << "\n";
+  return true;
+}
+
+// Write the --trace file: every step's merged spans as one Chrome trace-event
+// JSON, one pid per rank (coordinator first). Returns false on I/O error.
+bool write_trace(const std::string& path,
+                 std::span<const bonsai::domain::StepReport> reports) {
+  if (path.empty()) return true;
+  std::vector<bonsai::trace::Span> spans;
+  for (const auto& rep : reports)
+    spans.insert(spans.end(), rep.spans.begin(), rep.spans.end());
+  std::map<int, std::string> names;
+  for (const auto& s : spans)
+    names.emplace(s.rank, s.rank < 0 ? std::string("coordinator")
+                                     : "rank " + std::to_string(s.rank));
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "bonsai_sim: cannot open trace file: " << path << "\n";
+    return false;
+  }
+  bonsai::trace::write_chrome_trace(out, spans, names);
+  std::cout << "trace: wrote " << spans.size() << " span(s) to " << path << "\n";
   return true;
 }
 
@@ -81,12 +107,14 @@ bool write_bench(const std::string& path,
 // against a 1-rank run and direct summation.
 template <typename SimT>
 int run_validation(SimT& multi, const bonsai::domain::SimConfig& force_cfg,
-                   const bonsai::ParticleSet& initial, const std::string& bench_path) {
+                   const bonsai::ParticleSet& initial, const bonsai::domain::RunInfo& info,
+                   const std::string& bench_path, const std::string& trace_path) {
   using namespace bonsai;
   multi.init(initial);
   domain::StepReport rep = multi.step();
   print_step_report(rep, std::cout);
-  if (!write_bench(bench_path, {&rep, 1})) return 2;
+  if (!write_bench(bench_path, info, {&rep, 1})) return 2;
+  if (!write_trace(trace_path, {&rep, 1})) return 2;
   ParticleSet gathered = multi.gather();
 
   domain::SimConfig single_cfg = force_cfg;
@@ -130,7 +158,8 @@ int run_validation(SimT& multi, const bonsai::domain::SimConfig& force_cfg,
 // The plain step loop with per-step reports and energy diagnostics.
 template <typename SimT>
 int run_steps(SimT& sim, const bonsai::ParticleSet& initial, int steps,
-              const std::string& bench_path) {
+              const bonsai::domain::RunInfo& info, const std::string& bench_path,
+              const std::string& trace_path) {
   sim.init(initial);
   std::vector<bonsai::domain::StepReport> reports;
   reports.reserve(static_cast<std::size_t>(std::max(steps, 0)));
@@ -143,7 +172,8 @@ int run_steps(SimT& sim, const bonsai::ParticleSet& initial, int steps,
               << " W=" << bonsai::TextTable::num(pe, 6)
               << " E=" << bonsai::TextTable::num(ke + pe, 6) << "\n\n";
   }
-  return write_bench(bench_path, reports) ? 0 : 2;
+  if (!write_bench(bench_path, info, reports)) return 2;
+  return write_trace(trace_path, reports) ? 0 : 2;
 }
 
 // Worker mode: --transport socket --rank-id K --coordinator HOST:PORT
@@ -233,9 +263,21 @@ int main(int argc, char** argv) {
     cfg.balance = cli.get("balance", "count") == "cost" ? bonsai::domain::BalanceMode::kCost
                                                         : bonsai::domain::BalanceMode::kCount;
     const std::string bench_path = cli.get("bench", "");
+    const std::string trace_path = cli.get("trace", "");
+    cfg.trace = !trace_path.empty();
     const auto steps = static_cast<int>(cli.get_int("steps", 4));
     const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
     const bool validate = cli.get_bool("validate", false);
+
+    bonsai::domain::RunInfo info;
+    info.ranks = cfg.nranks;
+    info.num_particles = n;
+    info.theta = cfg.theta;
+    info.transport = transport;
+    info.topology = socket_mode ? topology_str : "none";
+    info.cluster = socket_mode ? cluster : "none";
+    info.balance = cfg.balance == bonsai::domain::BalanceMode::kCost ? "cost" : "count";
+    info.async = cfg.async;
 
     std::cout << "bonsai_sim: n=" << n << " ranks=" << cfg.nranks << " theta=" << cfg.theta
               << " eps=" << cfg.eps << " dt=" << cfg.dt << " steps=" << steps
@@ -274,18 +316,21 @@ int main(int argc, char** argv) {
                 << " topology) coordinator on 127.0.0.1:" << sim.port() << " driving "
                 << cfg.nranks << (ccfg.spawn_workers ? " spawned" : " external")
                 << " worker process(es)\n";
-      return validate ? run_validation(sim, ccfg.sim, initial, bench_path)
-                      : run_steps(sim, initial, steps, bench_path);
+      return validate ? run_validation(sim, ccfg.sim, initial, info, bench_path, trace_path)
+                      : run_steps(sim, initial, steps, info, bench_path, trace_path);
     }
 
+    // In-process ranks share this process's tracer (the cluster coordinator
+    // enables its own, and ships the flag to workers in the Config frame).
+    if (cfg.trace) bonsai::trace::Tracer::instance().set_enabled(true);
     if (validate) {
       bonsai::domain::SimConfig force_cfg = cfg;
       force_cfg.dt = 0.0;
       bonsai::domain::Simulation sim(force_cfg);
-      return run_validation(sim, force_cfg, initial, bench_path);
+      return run_validation(sim, force_cfg, initial, info, bench_path, trace_path);
     }
     bonsai::domain::Simulation sim(cfg);
-    return run_steps(sim, initial, steps, bench_path);
+    return run_steps(sim, initial, steps, info, bench_path, trace_path);
   } catch (const bonsai::CliError& e) {
     std::cerr << "bonsai_sim: " << e.what() << "\n";
     return 2;

@@ -3,27 +3,36 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
 
 namespace bonsai {
 
+// Monotonic clock sample in nanoseconds. The single time source shared by the
+// stage timers and the span tracer, so stage rows and trace spans are always
+// on the same clock and directly comparable.
+inline std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 // Simple monotonic wall-clock timer.
 class WallTimer {
  public:
-  WallTimer() : start_(clock::now()) {}
+  WallTimer() : start_ns_(now_ns()) {}
 
-  void reset() { start_ = clock::now(); }
+  void reset() { start_ns_ = now_ns(); }
 
   // Seconds elapsed since construction or last reset().
   double elapsed() const {
-    return std::chrono::duration<double>(clock::now() - start_).count();
+    return static_cast<double>(now_ns() - start_ns_) * 1e-9;
   }
 
  private:
-  using clock = std::chrono::steady_clock;
-  clock::time_point start_;
+  std::int64_t start_ns_;
 };
 
 // Accumulates named timing buckets: breakdown.add("Tree-construction", dt).

@@ -520,15 +520,26 @@ TEST(Simulation, BenchJsonIsWellFormed) {
   std::vector<domain::StepReport> reports;
   reports.push_back(sim.step());
   reports.push_back(sim.step());
+  domain::RunInfo info;
+  info.ranks = cfg.nranks;
+  info.num_particles = 500;
+  info.theta = cfg.theta;
   std::ostringstream os;
-  write_step_report_json(reports, os);
+  write_step_report_json(info, reports, os);
   const std::string json = os.str();
-  EXPECT_EQ(json.front(), '[');
-  EXPECT_EQ(json[json.size() - 2], ']');  // trailing newline after the array
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json[json.size() - 2], '}');  // trailing newline after the object
+  EXPECT_NE(json.find("\"schema\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"config\": {\"ranks\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"transport\": \"inproc\""), std::string::npos);
+  EXPECT_NE(json.find("\"wire_version\": "), std::string::npos);
+  EXPECT_NE(json.find("\"steps\": ["), std::string::npos);
   EXPECT_NE(json.find("\"step\": 0"), std::string::npos);
   EXPECT_NE(json.find("\"step\": 1"), std::string::npos);
   EXPECT_NE(json.find("\"overlap_efficiency\""), std::string::npos);
   EXPECT_NE(json.find("\"Gravity local\""), std::string::npos);
+  EXPECT_NE(json.find("\"metrics\": {\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"wire.let.bytes\""), std::string::npos);
   EXPECT_EQ(json.find("nan"), std::string::npos);
   EXPECT_EQ(json.find("inf"), std::string::npos);
 }

@@ -459,6 +459,7 @@ TEST(Wire, ControlFramesRoundTrip) {
   cfg.dt = 0.5e-3;
   cfg.curve = sfc::CurveType::kMorton;
   cfg.balance = domain::BalanceMode::kCost;
+  cfg.trace = true;
   const domain::SimConfig back = wire::decode_config(wire::encode_config(cfg));
   EXPECT_EQ(back.nranks, 6);
   EXPECT_DOUBLE_EQ(back.theta, 0.3);
@@ -469,6 +470,7 @@ TEST(Wire, ControlFramesRoundTrip) {
   EXPECT_DOUBLE_EQ(back.dt, 0.5e-3);
   EXPECT_EQ(back.curve, sfc::CurveType::kMorton);
   EXPECT_EQ(back.balance, domain::BalanceMode::kCost);
+  EXPECT_TRUE(back.trace);
 }
 
 TEST(Wire, StepBeginAndResultRoundTrip) {
@@ -509,6 +511,99 @@ TEST(Wire, StepBeginAndResultRoundTrip) {
   EXPECT_EQ(rback.let_sizes[0].bytes, 9u);
   EXPECT_EQ(rback.let_wire.bytes, 4096u);
   EXPECT_EQ(rback.parts.y, sr.parts.y);
+}
+
+wire::TraceFrame make_trace_frame() {
+  wire::TraceFrame tf;
+  tf.src = 2;
+  tf.step = 7;
+  tf.recv_ns = 1'000'000'000;
+  tf.send_ns = 1'004'200'000;
+  trace::Span a;
+  a.name = "worker.step";
+  a.begin_ns = 1'000'000'000;
+  a.end_ns = 1'004'000'000;
+  a.rank = 2;
+  a.lane = 2;
+  a.step = 7;
+  trace::Span b;
+  b.name = "gravity.remote";
+  b.begin_ns = 1'001'000'000;
+  b.end_ns = 1'003'500'000;
+  b.rank = 2;
+  b.lane = 2;
+  b.step = 7;
+  b.peer = 0;
+  b.bytes = 4096;
+  tf.spans = {a, b};
+  tf.metrics.counters["gravity.remote.p2p"] = 12345.0;
+  tf.metrics.counters["wire.let.bytes"] = 8192.0;
+  tf.metrics.gauges["step.elapsed_s"] = 0.004;
+  metrics::HistogramData h;
+  h.bounds = {16.0, 32.0, 64.0};
+  h.counts = {1, 0, 2, 0};
+  h.count = 3;
+  h.sum = 150.0;
+  tf.metrics.histograms["let.size.bytes"] = h;
+  return tf;
+}
+
+TEST(Wire, TraceFrameRoundTripsSpansAndMetrics) {
+  const wire::TraceFrame tf = make_trace_frame();
+  const std::vector<std::uint8_t> frame = wire::encode_trace(tf);
+  EXPECT_EQ(wire::frame_type(frame), wire::FrameType::kTrace);
+  const wire::TraceFrame back = wire::decode_trace(frame);
+  EXPECT_EQ(back.src, 2);
+  EXPECT_EQ(back.step, 7);
+  EXPECT_EQ(back.recv_ns, tf.recv_ns);
+  EXPECT_EQ(back.send_ns, tf.send_ns);
+  ASSERT_EQ(back.spans.size(), 2u);
+  EXPECT_EQ(back.spans[0].name, "worker.step");
+  EXPECT_EQ(back.spans[0].begin_ns, tf.spans[0].begin_ns);
+  EXPECT_EQ(back.spans[0].peer, -2);  // unset sentinel survives
+  EXPECT_EQ(back.spans[1].name, "gravity.remote");
+  EXPECT_EQ(back.spans[1].peer, 0);
+  EXPECT_EQ(back.spans[1].bytes, 4096);
+  EXPECT_EQ(back.metrics.counters, tf.metrics.counters);
+  EXPECT_EQ(back.metrics.gauges.at("step.elapsed_s"), 0.004);
+  const metrics::HistogramData& h = back.metrics.histograms.at("let.size.bytes");
+  EXPECT_EQ(h.bounds, tf.metrics.histograms.at("let.size.bytes").bounds);
+  EXPECT_EQ(h.counts, tf.metrics.histograms.at("let.size.bytes").counts);
+  EXPECT_EQ(h.count, 3u);
+  EXPECT_EQ(h.sum, 150.0);
+}
+
+TEST(Wire, TraceFrameRejectsTruncationAtEveryLength) {
+  const std::vector<std::uint8_t> frame = wire::encode_trace(make_trace_frame());
+  for (std::size_t len = 0; len < frame.size(); ++len) {
+    const std::vector<std::uint8_t> cut(frame.begin(),
+                                        frame.begin() + static_cast<std::ptrdiff_t>(len));
+    EXPECT_THROW(wire::decode_trace(cut), wire::WireError) << "length " << len;
+  }
+}
+
+TEST(Wire, TraceFrameByteFlipsEitherDecodeOrThrow) {
+  // Exhaustive single-byte corruption: decode must never crash, hang or read
+  // out of bounds — it throws WireError or yields a structurally valid frame
+  // (spans never end before they begin, histogram counts stay sized to their
+  // bounds).
+  const std::vector<std::uint8_t> frame = wire::encode_trace(make_trace_frame());
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    std::vector<std::uint8_t> bad = frame;
+    bad[i] ^= 0xA5;
+    try {
+      const wire::TraceFrame tf = wire::decode_trace(bad);
+      EXPECT_LE(tf.spans.size(), bad.size());
+      for (const trace::Span& s : tf.spans) {
+        EXPECT_GE(s.end_ns, s.begin_ns);
+        EXPECT_LE(s.name.size(), bad.size());
+      }
+      for (const auto& [name, h] : tf.metrics.histograms)
+        EXPECT_EQ(h.counts.size(), h.bounds.size() + 1);
+    } catch (const wire::WireError&) {
+      // Rejected: fine.
+    }
+  }
 }
 
 TEST(InProcTransport, FifoPerDestinationAndClose) {
