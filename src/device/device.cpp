@@ -5,6 +5,8 @@
 #include <mutex>
 #include <numeric>
 
+#include "util/trace.hpp"
+
 namespace bonsai {
 
 void Device::sort_particles(ParticleSet& parts, const sfc::KeySpace& space) {
@@ -59,15 +61,24 @@ void Device::compute_properties(const ParticleSet& parts, Octree& tree, double t
 InteractionStats Device::compute_forces(const TreeView& src, ParticleSet& targets,
                                         std::span<const TargetGroup> groups,
                                         const TraversalConfig& config, bool self) {
+  // Span on the calling (lane/driver) thread: cluster workers only drain the
+  // driver thread's ring, so pool-thread spans would be invisible there.
+  trace::ScopedSpan span("gravity.eval", trace_rank_);
+
   // Each group writes a disjoint particle range, so workers need no locking
-  // on the outputs; stats merge under a mutex at the end of each chunk.
+  // on the outputs; stats merge under a mutex at the end of each chunk. Each
+  // pool thread keeps one staging queue alive across groups (and calls) so
+  // the SoA buffers are allocated once per thread, not once per group.
   std::mutex stats_mutex;
   InteractionStats total;
   pool_->parallel_for(groups.size(), [&](std::size_t g) {
-    const InteractionStats s = traverse_one_group(src, targets, groups[g], config, self);
+    thread_local InteractionQueue queue;
+    const InteractionStats s =
+        traverse_one_group_batched(src, targets, groups[g], config, self, queue);
     std::lock_guard lock(stats_mutex);
     total += s;
   });
+  span.set_bytes(static_cast<std::uint64_t>(total.p2p + total.p2c));
   return total;
 }
 

@@ -36,6 +36,9 @@ class Device {
   std::size_t num_threads() const { return pool_->num_threads(); }
   ThreadPool& pool() { return *pool_; }
 
+  // Rank id stamped onto this device's trace spans (-1 = untagged).
+  void set_trace_rank(int rank) { trace_rank_ = rank; }
+
   // --- Pipeline stages (Table II rows) -----------------------------------
 
   // "Sorting SFC": compute keys in parallel and sort the particle arrays.
@@ -50,7 +53,10 @@ class Device {
 
   // "Compute gravity": walk `src` for all groups in parallel, accumulating
   // accelerations into `targets`. Groups are dispatched across workers the
-  // way warps are scheduled onto SMs.
+  // way warps are scheduled onto SMs. Each worker walks its group into a
+  // thread-local InteractionQueue and `config.backend` drains the staged
+  // batches (tree/kernel_backend.hpp); emits a `gravity.eval` trace span on
+  // the calling thread.
   InteractionStats compute_forces(const TreeView& src, ParticleSet& targets,
                                   std::span<const TargetGroup> groups,
                                   const TraversalConfig& config, bool self);
@@ -62,6 +68,7 @@ class Device {
 
  private:
   std::unique_ptr<ThreadPool> pool_;
+  int trace_rank_ = -1;
 };
 
 }  // namespace bonsai

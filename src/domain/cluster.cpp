@@ -300,6 +300,7 @@ StepReport ClusterSimulation::step_hub() {
   StepReport report;
   report.step = next_step_++;
   report.async = false;  // workers pipeline internally, but no lane model here
+  report.kernel = cfg_.sim.kernel;
   WallTimer wall;
 
   const std::size_t nranks = sets_.size();
@@ -380,6 +381,7 @@ StepReport ClusterSimulation::step_spmd() {
   StepReport report;
   report.step = next_step_++;
   report.async = false;
+  report.kernel = cfg_.sim.kernel;
   WallTimer wall;
 
   const std::size_t nranks = sets_.size();

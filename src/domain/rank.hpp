@@ -45,6 +45,9 @@ struct SimConfig {
                                               // previous step's gravity times
   bool trace = false;                         // record spans (--trace); shipped
                                               // to workers in the Config frame
+  KernelBackend kernel = KernelBackend::kSimd;  // batched force backend
+                                                // (--kernel); shipped to
+                                                // workers in the Config frame
 
   TraversalConfig traversal() const {
     TraversalConfig t;
@@ -52,13 +55,16 @@ struct SimConfig {
     t.eps = eps;
     t.ncrit = ncrit;
     t.quadrupole = quadrupole;
+    t.backend = kernel;
     return t;
   }
 };
 
 class Rank {
  public:
-  Rank(int id, std::size_t num_threads) : id_(id), device_(num_threads) {}
+  Rank(int id, std::size_t num_threads) : id_(id), device_(num_threads) {
+    device_.set_trace_rank(id);
+  }
 
   int id() const { return id_; }
   Device& device() { return device_; }

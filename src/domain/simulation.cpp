@@ -288,6 +288,7 @@ StepReport Simulation::step() {
   StepReport report;
   report.step = next_step_++;
   report.async = cfg_.async;
+  report.kernel = cfg_.kernel;
   WallTimer wall;
 
   // Fresh endpoints every step: a failed step may leave undrained LET
@@ -578,6 +579,7 @@ double Simulation::potential_energy() const {
 
 void print_step_report(const StepReport& report, std::ostream& os) {
   os << "step " << report.step << ": n=" << report.num_particles
+     << " kernel=" << kernel_backend_name(report.kernel)
      << " migrated=" << report.migrated << " LET cells=" << report.let_cells
      << " LET particles=" << report.let_particles << '\n';
 
@@ -602,6 +604,11 @@ void print_step_report(const StepReport& report, std::ostream& os) {
      << " | gravity " << TextTable::num(rates.gflops_device, 2)
      << " Gflop/s (device), " << TextTable::num(rates.gflops_parallel, 2)
      << " Gflop/s (parallel model)\n";
+  if (stats.batches() > 0) {
+    os << "batches: " << stats.pp_batches << " p-p + " << stats.pc_batches
+       << " p-c, fill " << TextTable::num(100.0 * stats.fill_ratio(), 1)
+       << "% (useful/padded lanes)\n";
+  }
 
   os << "wire: LET " << human_bytes(static_cast<double>(report.let_wire.bytes)) << " in "
      << report.let_wire.frames << " frame(s), enc "
@@ -659,6 +666,28 @@ metrics::Snapshot build_step_metrics(const StepReport& r) {
   m.counters["gravity.local.p2c"] = static_cast<double>(r.local_stats.p2c);
   m.counters["gravity.remote.p2p"] = static_cast<double>(r.remote_stats.p2p);
   m.counters["gravity.remote.p2c"] = static_cast<double>(r.remote_stats.p2c);
+  const InteractionStats stats = r.stats();
+  if (stats.batches() > 0) {
+    m.counters["kernel.batch.count{kind=pp}"] = static_cast<double>(stats.pp_batches);
+    m.counters["kernel.batch.count{kind=pc}"] = static_cast<double>(stats.pc_batches);
+    m.counters["kernel.interactions.useful"] = static_cast<double>(stats.p2p + stats.p2c);
+    m.counters["kernel.interactions.padded"] =
+        static_cast<double>(stats.p2p_padded + stats.p2c_padded);
+    m.gauges["kernel.batch.fill_ratio"] = stats.fill_ratio();
+    // Useful interactions per drained batch as a pow-2 histogram: bucket b of
+    // InteractionStats::batch_hist covers [2^b, 2^(b+1)), so bound i is set
+    // to 2^(i+1) - 1 (metric buckets are (lo, hi] against integer samples).
+    metrics::HistogramData h;
+    h.bounds.resize(kBatchHistBuckets - 1);
+    for (std::size_t b = 0; b + 1 < kBatchHistBuckets; ++b)
+      h.bounds[b] = static_cast<double>((std::uint64_t{2} << b) - 1);
+    h.counts.assign(kBatchHistBuckets, 0);
+    for (std::size_t b = 0; b < kBatchHistBuckets; ++b)
+      h.counts[b] = stats.batch_hist[b];
+    h.count = stats.batches();
+    h.sum = static_cast<double>(stats.p2p + stats.p2c);
+    m.histograms["kernel.batch.interactions"] = std::move(h);
+  }
   fold_wire_stats(m, "let", r.let_wire);
   fold_wire_stats(m, "part", r.part_wire);
   fold_wire_stats(m, "dom", r.dom_wire);
@@ -711,6 +740,7 @@ void write_step_report_json(const RunInfo& info, std::span<const StepReport> rep
      << ", \"num_particles\": " << info.num_particles << ", \"theta\": " << info.theta
      << ", \"transport\": \"" << info.transport << "\", \"topology\": \"" << info.topology
      << "\", \"cluster\": \"" << info.cluster << "\", \"balance\": \"" << info.balance
+     << "\", \"kernel\": \"" << info.kernel
      << "\", \"async\": " << (info.async ? "true" : "false")
      << ", \"wire_version\": " << info.wire_version << "},\n \"steps\": [";
   for (std::size_t i = 0; i < reports.size(); ++i) {
@@ -729,6 +759,11 @@ void write_step_report_json(const RunInfo& info, std::span<const StepReport> rep
        << ", \"overlap_efficiency\": " << r.overlap_efficiency()
        << ",\n   \"p2p\": " << stats.p2p << ", \"p2c\": " << stats.p2c
        << ", \"flops\": " << stats.flops()
+       << ", \"useful_flops\": " << stats.useful_flops()
+       << ", \"padded_flops\": " << stats.padded_flops()
+       << ", \"pp_batches\": " << stats.pp_batches
+       << ", \"pc_batches\": " << stats.pc_batches
+       << ", \"fill_ratio\": " << stats.fill_ratio()
        << ", \"gflops_device\": " << rates.gflops_device
        << ", \"gflops_parallel\": " << rates.gflops_parallel
        << ",\n   \"wire\": {\"let_bytes\": " << r.let_wire.bytes

@@ -49,6 +49,7 @@ namespace bonsai::domain {
 struct StepReport {
   int step = 0;
   bool async = false;  // which schedule produced this report
+  KernelBackend kernel = KernelBackend::kSimd;  // force backend of this step
   std::size_t num_particles = 0;
   std::uint64_t migrated = 0;       // particles that changed rank this step
   std::uint64_t let_cells = 0;      // total exported LET nodes
@@ -239,6 +240,7 @@ struct RunInfo {
   std::string topology = "none";     // "none" | "star" | "mesh"
   std::string cluster = "none";      // "none" | "hub" | "spmd"
   std::string balance = "count";     // "count" | "cost"
+  std::string kernel = "simd";       // "scalar" | "simd" | "simd-float"
   bool async = true;
   int wire_version = wire::kVersion;
 };

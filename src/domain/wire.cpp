@@ -444,6 +444,7 @@ std::vector<std::uint8_t> encode_config(const SimConfig& cfg) {
   w.i32(cfg.snap_level);
   w.u8(cfg.balance == BalanceMode::kCost ? 1 : 0);
   w.u8(cfg.trace ? 1 : 0);
+  w.u8(static_cast<std::uint8_t>(cfg.kernel));
   return w.finish();
 }
 
@@ -462,6 +463,10 @@ SimConfig decode_config(std::span<const std::uint8_t> frame) {
   cfg.snap_level = r.i32();
   cfg.balance = r.u8() != 0 ? BalanceMode::kCost : BalanceMode::kCount;
   cfg.trace = r.u8() != 0;
+  const std::uint8_t kernel = r.u8();
+  r.require(kernel <= static_cast<std::uint8_t>(KernelBackend::kSimdFloat),
+            "config kernel backend out of range");
+  cfg.kernel = static_cast<KernelBackend>(kernel);
   r.done();
   r.require(cfg.nranks >= 1 && cfg.nranks <= 255, "config rank count out of range");
   return cfg;
@@ -587,15 +592,39 @@ WireStats read_wire_stats(Reader& r) {
 
 }  // namespace
 
+namespace {
+
+void put_interaction_stats(Writer& w, const InteractionStats& s) {
+  w.u64(s.p2p);
+  w.u64(s.p2c);
+  w.u64(s.p2p_padded);
+  w.u64(s.p2c_padded);
+  w.u64(s.pp_batches);
+  w.u64(s.pc_batches);
+  for (std::size_t b = 0; b < kBatchHistBuckets; ++b) w.u64(s.batch_hist[b]);
+}
+
+InteractionStats read_interaction_stats(Reader& r) {
+  InteractionStats s;
+  s.p2p = r.u64();
+  s.p2c = r.u64();
+  s.p2p_padded = r.u64();
+  s.p2c_padded = r.u64();
+  s.pp_batches = r.u64();
+  s.pc_batches = r.u64();
+  for (std::size_t b = 0; b < kBatchHistBuckets; ++b) s.batch_hist[b] = r.u64();
+  return s;
+}
+
+}  // namespace
+
 std::vector<std::uint8_t> encode_step_result(const StepResult& sr) {
   Writer w(FrameType::kStepResult);
   w.i32(sr.rank);
   w.u64(sr.let_cells);
   w.u64(sr.let_particles);
-  w.u64(sr.local_stats.p2p);
-  w.u64(sr.local_stats.p2c);
-  w.u64(sr.remote_stats.p2p);
-  w.u64(sr.remote_stats.p2c);
+  put_interaction_stats(w, sr.local_stats);
+  put_interaction_stats(w, sr.remote_stats);
   w.u64(sr.migrated);
   w.u64(sr.local_count);
   w.f64(sr.kinetic);
@@ -635,10 +664,8 @@ StepResult decode_step_result(std::span<const std::uint8_t> frame) {
   sr.rank = r.i32();
   sr.let_cells = r.u64();
   sr.let_particles = r.u64();
-  sr.local_stats.p2p = r.u64();
-  sr.local_stats.p2c = r.u64();
-  sr.remote_stats.p2p = r.u64();
-  sr.remote_stats.p2c = r.u64();
+  sr.local_stats = read_interaction_stats(r);
+  sr.remote_stats = read_interaction_stats(r);
   sr.migrated = r.u64();
   sr.local_count = r.u64();
   sr.kinetic = r.f64();

@@ -35,9 +35,11 @@ namespace bonsai::domain::wire {
 // Version 3 extends Hello with the worker's mesh listen port and adds the
 // PeerDirectory / PeerHello handshake frames of the mesh topology. Version 4
 // adds the Trace frame (span traces + metric deltas shipped alongside
-// StepResult) and the trace flag in Config.
+// StepResult) and the trace flag in Config. Version 5 adds the kernel-backend
+// selector to Config and the batched-engine counters (padded interactions,
+// batch counts, batch-size histogram) to the StepResult interaction stats.
 inline constexpr std::uint32_t kMagic = 0x57534E42u;
-inline constexpr std::uint16_t kVersion = 4;
+inline constexpr std::uint16_t kVersion = 5;
 inline constexpr std::size_t kHeaderBytes = 16;
 
 enum class FrameType : std::uint16_t {

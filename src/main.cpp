@@ -45,6 +45,9 @@ void register_flags(bonsai::CommandLine& cli) {
   cli.add_switch("async", "overlapped per-rank pipeline (default)");
   cli.add_switch("no-async", "lockstep stage loop (the PR-1 schedule, for diffing)");
   cli.add_option("balance", "M", "count | cost (feedback on measured gravity time)");
+  cli.add_option("kernel", "B",
+                 "scalar | simd | simd-float: force backend draining the "
+                 "batched interaction lists (default simd)");
   cli.add_option("bench", "FILE", "write per-step reports as JSON to FILE");
   cli.add_option("trace", "FILE",
                  "record spans and write a merged Chrome trace-event JSON "
@@ -262,6 +265,12 @@ int main(int argc, char** argv) {
     cfg.async = cli.get_bool("async", true) && !cli.get_bool("no-async", false);
     cfg.balance = cli.get("balance", "count") == "cost" ? bonsai::domain::BalanceMode::kCost
                                                         : bonsai::domain::BalanceMode::kCount;
+    const std::string kernel_name = cli.get("kernel", "simd");
+    const auto kernel = bonsai::kernel_backend_from_name(kernel_name);
+    if (!kernel)
+      throw bonsai::CliError("--kernel: expected scalar, simd or simd-float, got '" +
+                             kernel_name + "'");
+    cfg.kernel = *kernel;
     const std::string bench_path = cli.get("bench", "");
     const std::string trace_path = cli.get("trace", "");
     cfg.trace = !trace_path.empty();
@@ -277,11 +286,13 @@ int main(int argc, char** argv) {
     info.topology = socket_mode ? topology_str : "none";
     info.cluster = socket_mode ? cluster : "none";
     info.balance = cfg.balance == bonsai::domain::BalanceMode::kCost ? "cost" : "count";
+    info.kernel = bonsai::kernel_backend_name(cfg.kernel);
     info.async = cfg.async;
 
     std::cout << "bonsai_sim: n=" << n << " ranks=" << cfg.nranks << " theta=" << cfg.theta
               << " eps=" << cfg.eps << " dt=" << cfg.dt << " steps=" << steps
               << " transport=" << transport
+              << " kernel=" << bonsai::kernel_backend_name(cfg.kernel)
               << (cfg.async ? " schedule=async" : " schedule=lockstep")
               << (cfg.balance == bonsai::domain::BalanceMode::kCost ? " balance=cost" : "")
               << "\n";

@@ -21,6 +21,7 @@ InteractionStats direct_forces(ParticleSet& parts, double eps) {
     parts.az[i] = f.az;
     parts.pot[i] = f.pot;
     stats.p2p += n - 1;
+    stats.p2p_padded += n - 1;
   }
   return stats;
 }
@@ -41,6 +42,7 @@ InteractionStats direct_forces_between(const ParticleSet& sources, ParticleSet& 
     targets.az[i] += f.az;
     targets.pot[i] += f.pot;
     stats.p2p += sources.size();
+    stats.p2p_padded += sources.size();
   }
   return stats;
 }
@@ -63,6 +65,7 @@ InteractionStats direct_forces_subset(ParticleSet& parts, double eps,
     parts.az[i] = f.az;
     parts.pot[i] = f.pot;
     stats.p2p += n - 1;
+    stats.p2p_padded += n - 1;
   }
   return stats;
 }

@@ -1,0 +1,441 @@
+#include "tree/kernel_backend.hpp"
+
+#include <cmath>
+
+#include "tree/kernels.hpp"
+#include "util/check.hpp"
+
+namespace bonsai {
+
+namespace {
+
+// Inert padding lane: zero mass at a far-away position, so padded lanes
+// contribute exactly zero without dividing by zero (finite in float too).
+constexpr double kPadPos = 1e15;
+
+// Source index that never equals a target index: non-self walks and padding
+// lanes use it so the self-mask compare stays uniform and never fires.
+constexpr std::uint32_t kInvalidSource = 0xffffffffu;
+
+std::size_t pad_to(std::size_t n) {
+  return (n + kKernelBatchPad - 1) / kKernelBatchPad * kKernelBatchPad;
+}
+
+}  // namespace
+
+const char* kernel_backend_name(KernelBackend backend) {
+  switch (backend) {
+    case KernelBackend::kScalar: return "scalar";
+    case KernelBackend::kSimd: return "simd";
+    case KernelBackend::kSimdFloat: return "simd-float";
+  }
+  return "unknown";
+}
+
+std::optional<KernelBackend> kernel_backend_from_name(std::string_view name) {
+  if (name == "scalar") return KernelBackend::kScalar;
+  if (name == "simd") return KernelBackend::kSimd;
+  if (name == "simd-float") return KernelBackend::kSimdFloat;
+  return std::nullopt;
+}
+
+void InteractionQueue::begin_walk(const TreeView& src, ParticleSet& targets,
+                                  const WalkParams& params, KernelBackend backend,
+                                  std::uint32_t target_begin, std::uint32_t target_end) {
+  BONSAI_CHECK_MSG(targets_ == nullptr, "finish_walk() must close the previous walk");
+  src_ = src;
+  targets_ = &targets;
+  params_ = params;
+  backend_ = backend;
+  target_begin_ = target_begin;
+  target_end_ = target_end;
+  cell_run_begin_ = static_cast<std::uint32_t>(cx_.size());
+  leaf_run_begin_ = static_cast<std::uint32_t>(sx_.size());
+}
+
+void InteractionQueue::push_cell(const TreeNode& node) {
+  if (cx_.size() + sx_.size() >= capacity_) flush();
+  const Multipole& mp = node.mp;
+  cx_.push_back(mp.com.x);
+  cy_.push_back(mp.com.y);
+  cz_.push_back(mp.com.z);
+  cm_.push_back(mp.mass);
+  for (int k = 0; k < 6; ++k) cq_[k].push_back(params_.quadrupole ? mp.quad.q[k] : 0.0);
+  if (backend_ == KernelBackend::kSimdFloat) {
+    fcx_.push_back(static_cast<float>(mp.com.x));
+    fcy_.push_back(static_cast<float>(mp.com.y));
+    fcz_.push_back(static_cast<float>(mp.com.z));
+    fcm_.push_back(static_cast<float>(mp.mass));
+    for (int k = 0; k < 6; ++k)
+      fcq_[k].push_back(params_.quadrupole ? static_cast<float>(mp.quad.q[k]) : 0.0f);
+  }
+}
+
+void InteractionQueue::push_leaf(const TreeNode& leaf) {
+  const std::size_t count = leaf.part_end - leaf.part_begin;
+  if (count == 0) return;
+  if (cx_.size() + sx_.size() + count >= capacity_ &&
+      (sx_.size() > leaf_run_begin_ || cx_.size() > cell_run_begin_ ||
+       !cell_batches_.empty() || !leaf_batches_.empty()))
+    flush();
+  for (std::uint32_t j = leaf.part_begin; j < leaf.part_end; ++j) {
+    sx_.push_back(src_.x[j]);
+    sy_.push_back(src_.y[j]);
+    sz_.push_back(src_.z[j]);
+    sm_.push_back(src_.m[j]);
+    sidx_.push_back(params_.self ? j : kInvalidSource);
+    if (backend_ == KernelBackend::kSimdFloat) {
+      fsx_.push_back(static_cast<float>(src_.x[j]));
+      fsy_.push_back(static_cast<float>(src_.y[j]));
+      fsz_.push_back(static_cast<float>(src_.z[j]));
+      fsm_.push_back(static_cast<float>(src_.m[j]));
+    }
+  }
+}
+
+void InteractionQueue::pad_cells() {
+  const std::size_t padded = pad_to(cx_.size());
+  while (cx_.size() < padded) {
+    cx_.push_back(kPadPos);
+    cy_.push_back(kPadPos);
+    cz_.push_back(kPadPos);
+    cm_.push_back(0.0);
+    for (auto& q : cq_) q.push_back(0.0);
+    if (backend_ == KernelBackend::kSimdFloat) {
+      fcx_.push_back(static_cast<float>(kPadPos));
+      fcy_.push_back(static_cast<float>(kPadPos));
+      fcz_.push_back(static_cast<float>(kPadPos));
+      fcm_.push_back(0.0f);
+      for (auto& q : fcq_) q.push_back(0.0f);
+    }
+  }
+}
+
+void InteractionQueue::pad_leaves() {
+  const std::size_t padded = pad_to(sx_.size());
+  while (sx_.size() < padded) {
+    sx_.push_back(kPadPos);
+    sy_.push_back(kPadPos);
+    sz_.push_back(kPadPos);
+    sm_.push_back(0.0);
+    sidx_.push_back(kInvalidSource);
+    if (backend_ == KernelBackend::kSimdFloat) {
+      fsx_.push_back(static_cast<float>(kPadPos));
+      fsy_.push_back(static_cast<float>(kPadPos));
+      fsz_.push_back(static_cast<float>(kPadPos));
+      fsm_.push_back(0.0f);
+    }
+  }
+}
+
+void InteractionQueue::close_cell_run() {
+  const std::uint32_t end = static_cast<std::uint32_t>(cx_.size());
+  if (end == cell_run_begin_) return;
+  Batch b;
+  b.target_begin = target_begin_;
+  b.target_end = target_end_;
+  b.begin = cell_run_begin_;
+  b.end = end;
+  if (backend_ == KernelBackend::kScalar) {
+    b.padded_end = end;
+  } else {
+    pad_cells();
+    b.padded_end = static_cast<std::uint32_t>(cx_.size());
+  }
+  const std::uint64_t nt = b.target_end - b.target_begin;
+  const std::uint64_t useful = static_cast<std::uint64_t>(b.end - b.begin) * nt;
+  stats_.p2c += useful;
+  stats_.p2c_padded += static_cast<std::uint64_t>(b.padded_end - b.begin) * nt;
+  stats_.pc_batches += 1;
+  stats_.observe_batch(useful);
+  cell_batches_.push_back(b);
+  cell_run_begin_ = static_cast<std::uint32_t>(cx_.size());
+}
+
+void InteractionQueue::close_leaf_run() {
+  const std::uint32_t end = static_cast<std::uint32_t>(sx_.size());
+  if (end == leaf_run_begin_) return;
+  Batch b;
+  b.target_begin = target_begin_;
+  b.target_end = target_end_;
+  b.begin = leaf_run_begin_;
+  b.end = end;
+  if (params_.self) {
+    // Self-pairs in this run: staged sources whose global index falls inside
+    // the target range. They are masked lanes, not useful interactions.
+    for (std::uint32_t s = b.begin; s < b.end; ++s)
+      if (sidx_[s] >= target_begin_ && sidx_[s] < target_end_ &&
+          sidx_[s] != kInvalidSource)
+        ++b.self_pairs;
+  }
+  if (backend_ == KernelBackend::kScalar) {
+    b.padded_end = end;
+  } else {
+    pad_leaves();
+    b.padded_end = static_cast<std::uint32_t>(sx_.size());
+  }
+  const std::uint64_t nt = b.target_end - b.target_begin;
+  const std::uint64_t useful =
+      static_cast<std::uint64_t>(b.end - b.begin) * nt - b.self_pairs;
+  stats_.p2p += useful;
+  // The scalar replay skips self-pairs the way the inline walk does; the SIMD
+  // paths evaluate every padded lane and mask, so the pad count includes both
+  // the alignment lanes and the masked self-pairs.
+  stats_.p2p_padded += backend_ == KernelBackend::kScalar
+                           ? useful
+                           : static_cast<std::uint64_t>(b.padded_end - b.begin) * nt;
+  stats_.pp_batches += 1;
+  stats_.observe_batch(useful);
+  leaf_batches_.push_back(b);
+  leaf_run_begin_ = static_cast<std::uint32_t>(sx_.size());
+}
+
+InteractionStats InteractionQueue::finish_walk() {
+  BONSAI_CHECK_MSG(targets_ != nullptr, "finish_walk() without begin_walk()");
+  close_cell_run();
+  close_leaf_run();
+  flush();
+  targets_ = nullptr;
+  InteractionStats out = stats_;
+  stats_ = InteractionStats{};
+  return out;
+}
+
+void InteractionQueue::flush() {
+  if (targets_ == nullptr) return;
+  close_cell_run();
+  close_leaf_run();
+  for (const Batch& b : cell_batches_) drain_cell_batch(b);
+  for (const Batch& b : leaf_batches_) drain_leaf_batch(b);
+  cell_batches_.clear();
+  leaf_batches_.clear();
+  cx_.clear();
+  cy_.clear();
+  cz_.clear();
+  cm_.clear();
+  for (auto& q : cq_) q.clear();
+  fcx_.clear();
+  fcy_.clear();
+  fcz_.clear();
+  fcm_.clear();
+  for (auto& q : fcq_) q.clear();
+  sx_.clear();
+  sy_.clear();
+  sz_.clear();
+  sm_.clear();
+  sidx_.clear();
+  fsx_.clear();
+  fsy_.clear();
+  fsz_.clear();
+  fsm_.clear();
+  cell_run_begin_ = 0;
+  leaf_run_begin_ = 0;
+}
+
+void InteractionQueue::drain_cell_batch(const Batch& b) const {
+  ParticleSet& t = *targets_;
+  const double eps2 = params_.eps2;
+
+  if (backend_ == KernelBackend::kScalar) {
+    // Straight replay of the inline walk's kernels, in staged (stack) order:
+    // cell-outer, target-inner, exactly like apply_cell once did.
+    for (std::uint32_t j = b.begin; j < b.end; ++j) {
+      Multipole mp;
+      mp.mass = cm_[j];
+      mp.com = {cx_[j], cy_[j], cz_[j]};
+      for (int k = 0; k < 6; ++k) mp.quad.q[k] = cq_[k][j];
+      for (std::uint32_t i = b.target_begin; i < b.target_end; ++i) {
+        ForceAccum<double> f{};
+        if (params_.quadrupole) {
+          pc_kernel(t.pos(i), mp, eps2, f);
+        } else {
+          pc_kernel_monopole(t.pos(i), mp, eps2, f);
+        }
+        t.ax[i] += f.ax;
+        t.ay[i] += f.ay;
+        t.az[i] += f.az;
+        t.pot[i] += f.pot;
+      }
+    }
+    return;
+  }
+
+  if (backend_ == KernelBackend::kSimd) {
+    const double* const cx = cx_.data();
+    const double* const cy = cy_.data();
+    const double* const cz = cz_.data();
+    const double* const cm = cm_.data();
+    const double* const q0 = cq_[0].data();
+    const double* const q1 = cq_[1].data();
+    const double* const q2 = cq_[2].data();
+    const double* const q3 = cq_[3].data();
+    const double* const q4 = cq_[4].data();
+    const double* const q5 = cq_[5].data();
+    for (std::uint32_t i = b.target_begin; i < b.target_end; ++i) {
+      const double tx = t.x[i], ty = t.y[i], tz = t.z[i];
+      double ax = 0.0, ay = 0.0, az = 0.0, pot = 0.0;
+#pragma omp simd reduction(+ : ax, ay, az, pot)
+      for (std::uint32_t j = b.begin; j < b.padded_end; ++j) {
+        const double dx = cx[j] - tx;
+        const double dy = cy[j] - ty;
+        const double dz = cz[j] - tz;
+        const double r2 = dx * dx + dy * dy + dz * dz + eps2;
+        const double rinv = 1.0 / std::sqrt(r2);
+        const double rinv2 = rinv * rinv;
+        const double rinv3 = rinv * rinv2;
+        const double rinv5 = rinv3 * rinv2;
+        const double rinv7 = rinv5 * rinv2;
+        const double qx = q0[j] * dx + q1[j] * dy + q2[j] * dz;
+        const double qy = q1[j] * dx + q3[j] * dy + q4[j] * dz;
+        const double qz = q2[j] * dx + q4[j] * dy + q5[j] * dz;
+        const double rqr = dx * qx + dy * qy + dz * qz;
+        const double trq = q0[j] + q3[j] + q5[j];
+        pot += -cm[j] * rinv + 0.5 * trq * rinv3 - 1.5 * rqr * rinv5;
+        const double s = cm[j] * rinv3 - 1.5 * trq * rinv5 + 7.5 * rqr * rinv7;
+        ax += s * dx - 3.0 * rinv5 * qx;
+        ay += s * dy - 3.0 * rinv5 * qy;
+        az += s * dz - 3.0 * rinv5 * qz;
+      }
+      t.ax[i] += ax;
+      t.ay[i] += ay;
+      t.az[i] += az;
+      t.pot[i] += pot;
+    }
+    return;
+  }
+
+  // kSimdFloat: the paper's single-precision device arithmetic, accumulated
+  // into the double target arrays once per batch.
+  const float feps2 = static_cast<float>(eps2);
+  const float* const cx = fcx_.data();
+  const float* const cy = fcy_.data();
+  const float* const cz = fcz_.data();
+  const float* const cm = fcm_.data();
+  const float* const q0 = fcq_[0].data();
+  const float* const q1 = fcq_[1].data();
+  const float* const q2 = fcq_[2].data();
+  const float* const q3 = fcq_[3].data();
+  const float* const q4 = fcq_[4].data();
+  const float* const q5 = fcq_[5].data();
+  for (std::uint32_t i = b.target_begin; i < b.target_end; ++i) {
+    const float tx = static_cast<float>(t.x[i]);
+    const float ty = static_cast<float>(t.y[i]);
+    const float tz = static_cast<float>(t.z[i]);
+    float ax = 0.0f, ay = 0.0f, az = 0.0f, pot = 0.0f;
+#pragma omp simd reduction(+ : ax, ay, az, pot)
+    for (std::uint32_t j = b.begin; j < b.padded_end; ++j) {
+      const float dx = cx[j] - tx;
+      const float dy = cy[j] - ty;
+      const float dz = cz[j] - tz;
+      const float r2 = dx * dx + dy * dy + dz * dz + feps2;
+      const float rinv = 1.0f / std::sqrt(r2);
+      const float rinv2 = rinv * rinv;
+      const float rinv3 = rinv * rinv2;
+      const float rinv5 = rinv3 * rinv2;
+      const float rinv7 = rinv5 * rinv2;
+      const float qx = q0[j] * dx + q1[j] * dy + q2[j] * dz;
+      const float qy = q1[j] * dx + q3[j] * dy + q4[j] * dz;
+      const float qz = q2[j] * dx + q4[j] * dy + q5[j] * dz;
+      const float rqr = dx * qx + dy * qy + dz * qz;
+      const float trq = q0[j] + q3[j] + q5[j];
+      pot += -cm[j] * rinv + 0.5f * trq * rinv3 - 1.5f * rqr * rinv5;
+      const float s = cm[j] * rinv3 - 1.5f * trq * rinv5 + 7.5f * rqr * rinv7;
+      ax += s * dx - 3.0f * rinv5 * qx;
+      ay += s * dy - 3.0f * rinv5 * qy;
+      az += s * dz - 3.0f * rinv5 * qz;
+    }
+    t.ax[i] += static_cast<double>(ax);
+    t.ay[i] += static_cast<double>(ay);
+    t.az[i] += static_cast<double>(az);
+    t.pot[i] += static_cast<double>(pot);
+  }
+}
+
+void InteractionQueue::drain_leaf_batch(const Batch& b) const {
+  ParticleSet& t = *targets_;
+  const double eps2 = params_.eps2;
+
+  if (backend_ == KernelBackend::kScalar) {
+    for (std::uint32_t i = b.target_begin; i < b.target_end; ++i) {
+      const double tx = t.x[i], ty = t.y[i], tz = t.z[i];
+      ForceAccum<double> f{};
+      for (std::uint32_t j = b.begin; j < b.end; ++j) {
+        if (sidx_[j] == i) continue;  // exact self-interaction
+        pp_kernel<double>(tx, ty, tz, sx_[j], sy_[j], sz_[j], sm_[j], eps2, f);
+      }
+      t.ax[i] += f.ax;
+      t.ay[i] += f.ay;
+      t.az[i] += f.az;
+      t.pot[i] += f.pot;
+    }
+    return;
+  }
+
+  const std::uint32_t* const sidx = sidx_.data();
+
+  if (backend_ == KernelBackend::kSimd) {
+    const double* const sx = sx_.data();
+    const double* const sy = sy_.data();
+    const double* const sz = sz_.data();
+    const double* const sm = sm_.data();
+    for (std::uint32_t i = b.target_begin; i < b.target_end; ++i) {
+      const double tx = t.x[i], ty = t.y[i], tz = t.z[i];
+      double ax = 0.0, ay = 0.0, az = 0.0, pot = 0.0;
+#pragma omp simd reduction(+ : ax, ay, az, pot)
+      for (std::uint32_t j = b.begin; j < b.padded_end; ++j) {
+        // Branch-free self-mask: the self lane gets zero mass and a biased
+        // r2 so the rsqrt stays finite even at eps = 0.
+        const double keep = sidx[j] == i ? 0.0 : 1.0;
+        const double dx = sx[j] - tx;
+        const double dy = sy[j] - ty;
+        const double dz = sz[j] - tz;
+        const double r2 = dx * dx + dy * dy + dz * dz + eps2 + (1.0 - keep);
+        const double rinv = 1.0 / std::sqrt(r2);
+        const double m = sm[j] * keep;
+        const double mr3 = m * rinv * rinv * rinv;
+        ax += mr3 * dx;
+        ay += mr3 * dy;
+        az += mr3 * dz;
+        pot -= m * rinv;
+      }
+      t.ax[i] += ax;
+      t.ay[i] += ay;
+      t.az[i] += az;
+      t.pot[i] += pot;
+    }
+    return;
+  }
+
+  const float feps2 = static_cast<float>(eps2);
+  const float* const sx = fsx_.data();
+  const float* const sy = fsy_.data();
+  const float* const sz = fsz_.data();
+  const float* const sm = fsm_.data();
+  for (std::uint32_t i = b.target_begin; i < b.target_end; ++i) {
+    const float tx = static_cast<float>(t.x[i]);
+    const float ty = static_cast<float>(t.y[i]);
+    const float tz = static_cast<float>(t.z[i]);
+    float ax = 0.0f, ay = 0.0f, az = 0.0f, pot = 0.0f;
+#pragma omp simd reduction(+ : ax, ay, az, pot)
+    for (std::uint32_t j = b.begin; j < b.padded_end; ++j) {
+      const float keep = sidx[j] == i ? 0.0f : 1.0f;
+      const float dx = sx[j] - tx;
+      const float dy = sy[j] - ty;
+      const float dz = sz[j] - tz;
+      const float r2 = dx * dx + dy * dy + dz * dz + feps2 + (1.0f - keep);
+      const float rinv = 1.0f / std::sqrt(r2);
+      const float m = sm[j] * keep;
+      const float mr3 = m * rinv * rinv * rinv;
+      ax += mr3 * dx;
+      ay += mr3 * dy;
+      az += mr3 * dz;
+      pot -= m * rinv;
+    }
+    t.ax[i] += static_cast<double>(ax);
+    t.ay[i] += static_cast<double>(ay);
+    t.az[i] += static_cast<double>(az);
+    t.pot[i] += static_cast<double>(pot);
+  }
+}
+
+}  // namespace bonsai

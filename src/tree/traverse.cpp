@@ -53,6 +53,7 @@ inline void apply_cell(const TreeNode& node, ParticleSet& targets, std::uint32_t
     targets.pot[i] += f.pot;
   }
   stats.p2c += end - begin;
+  stats.p2c_padded += end - begin;  // inline evaluation pads nothing
 }
 
 // Apply an opened leaf's particles to every target in [begin, end).
@@ -73,6 +74,7 @@ inline void apply_leaf(const TreeView& src, const TreeNode& leaf, ParticleSet& t
     targets.az[i] += f.az;
     targets.pot[i] += f.pot;
     stats.p2p += applied;
+    stats.p2p_padded += applied;
   }
 }
 
@@ -114,6 +116,57 @@ InteractionStats traverse_one_group(const TreeView& src, ParticleSet& targets,
         break;
     }
   }
+  return stats;
+}
+
+InteractionStats traverse_one_group_batched(const TreeView& src, ParticleSet& targets,
+                                            const TargetGroup& group,
+                                            const TraversalConfig& config, bool self,
+                                            InteractionQueue& queue) {
+  if (src.empty() || group.begin == group.end) return InteractionStats{};
+  WalkParams params;
+  params.eps2 = config.eps * config.eps;
+  params.quadrupole = config.quadrupole;
+  params.self = self;
+  queue.begin_walk(src, targets, params, config.backend, group.begin, group.end);
+
+  // Same stack discipline and MAC decisions as traverse_one_group; the only
+  // difference is that accepted cells and opened leaves are staged instead of
+  // evaluated on the spot.
+  std::vector<std::int32_t> stack;
+  stack.push_back(0);
+  while (!stack.empty()) {
+    const TreeNode& node = src.nodes[static_cast<std::size_t>(stack.back())];
+    stack.pop_back();
+    if (node.count() == 0 && node.kind == NodeKind::kParticleLeaf) continue;
+
+    if (mac_accept(group.box, node)) {
+      queue.push_cell(node);
+      continue;
+    }
+    switch (node.kind) {
+      case NodeKind::kInternal:
+        for (std::uint8_t c = 0; c < node.num_children; ++c)
+          stack.push_back(node.first_child + c);
+        break;
+      case NodeKind::kParticleLeaf:
+        queue.push_leaf(node);
+        break;
+      case NodeKind::kMultipoleLeaf:
+        queue.push_cell(node);
+        break;
+    }
+  }
+  return queue.finish_walk();
+}
+
+InteractionStats traverse_groups_batched(const TreeView& src, ParticleSet& targets,
+                                         std::span<const TargetGroup> groups,
+                                         const TraversalConfig& config, bool self,
+                                         InteractionQueue& queue) {
+  InteractionStats stats;
+  for (const TargetGroup& g : groups)
+    stats += traverse_one_group_batched(src, targets, g, config, self, queue);
   return stats;
 }
 

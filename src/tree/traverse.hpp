@@ -1,19 +1,30 @@
-// Group-based Barnes-Hut tree walk with on-the-fly force evaluation.
+// Group-based Barnes-Hut tree walk.
 //
 // Targets are processed in groups of consecutive (SFC-sorted) particles, the
 // CPU analogue of Bonsai's warp-cooperative CUDA kernel: one traversal is
 // shared by the whole group, with the multipole acceptance criterion (MAC)
 // evaluated against the group's bounding box. Accepted cells contribute
 // particle-cell interactions; opened leaves contribute particle-particle
-// interactions. Nothing is staged in memory — interactions are evaluated as
-// they are discovered, mirroring the register-resident interaction lists that
-// give Bonsai its single-GPU efficiency (§III-A).
+// interactions.
+//
+// Two evaluation modes share the same walk logic (identical MAC decisions,
+// identical useful interaction counts):
+//
+//   * inline (traverse_one_group / traverse_groups): forces are evaluated as
+//     interactions are discovered. Kept as the pre-PR-7 correctness
+//     reference.
+//   * batched (traverse_one_group_batched): the walk emits interaction lists
+//     into an InteractionQueue and a pluggable kernel backend
+//     (tree/kernel_backend.*) drains them in SoA batches — the paper's
+//     traversal/evaluation split (§III-A) that turns the walk's output into
+//     wide, regular FLOPs.
 #pragma once
 
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "tree/kernel_backend.hpp"
 #include "tree/octree.hpp"
 #include "tree/particle.hpp"
 #include "util/flops.hpp"
@@ -25,6 +36,7 @@ struct TraversalConfig {
   double eps = 0.0;         // Plummer softening length
   int ncrit = 64;           // max particles per target group
   bool quadrupole = true;   // include quadrupole corrections in p-c kernels
+  KernelBackend backend = KernelBackend::kSimd;  // batched-path force backend
 };
 
 // A contiguous range of target particles walked together.
@@ -52,6 +64,21 @@ InteractionStats traverse_groups(const TreeView& src, ParticleSet& targets,
 InteractionStats traverse_one_group(const TreeView& src, ParticleSet& targets,
                                     const TargetGroup& group,
                                     const TraversalConfig& config, bool self);
+
+// Single-group walk that emits interaction lists into `queue` instead of
+// evaluating forces inline; `config.backend` drains the staged batches.
+// Makes exactly the inline walk's MAC decisions, so useful interaction
+// counts match traverse_one_group interaction for interaction.
+InteractionStats traverse_one_group_batched(const TreeView& src, ParticleSet& targets,
+                                            const TargetGroup& group,
+                                            const TraversalConfig& config, bool self,
+                                            InteractionQueue& queue);
+
+// Batched walk over every group through one queue (convenience / tests).
+InteractionStats traverse_groups_batched(const TreeView& src, ParticleSet& targets,
+                                         std::span<const TargetGroup> groups,
+                                         const TraversalConfig& config, bool self,
+                                         InteractionQueue& queue);
 
 // Reference per-particle (non-grouped) walk; slower but with a per-particle
 // MAC, used in tests to bound the additional error of the group MAC.

@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -35,7 +36,8 @@ using domain::Simulation;
 // Reference forces from the single global tree's group walk, returned in
 // particle-id order so they align with Simulation::gather().
 ParticleSet global_tree_forces(const ParticleSet& global, double theta, double eps,
-                               int nleaf = Octree::kDefaultNLeaf, int ncrit = 64) {
+                               int nleaf = Octree::kDefaultNLeaf, int ncrit = 64,
+                               std::optional<KernelBackend> backend = std::nullopt) {
   ParticleSet ref = global;
   sfc::KeySpace space(ref.bounds());
   sort_by_keys(ref, space);
@@ -48,7 +50,13 @@ ParticleSet global_tree_forces(const ParticleSet& global, double theta, double e
   cfg.eps = eps;
   cfg.ncrit = ncrit;
   ref.zero_forces();
-  traverse_groups(tree.view(ref), ref, groups, cfg, /*self=*/true);
+  if (backend) {
+    cfg.backend = *backend;
+    InteractionQueue queue;
+    traverse_groups_batched(tree.view(ref), ref, groups, cfg, /*self=*/true, queue);
+  } else {
+    traverse_groups(tree.view(ref), ref, groups, cfg, /*self=*/true);
+  }
 
   std::vector<std::uint32_t> perm(ref.size());
   std::iota(perm.begin(), perm.end(), 0u);
@@ -319,9 +327,12 @@ TEST(Let, GraftOfEmptyLetsIsEmpty) {
   EXPECT_TRUE(domain::graft_lets(lets, 0.4).view().empty());
 }
 
-// Both schedules must reproduce the global group walk bit-for-bit on one
-// rank: no LETs exist, so async adds only the executor lane around the same
-// stage calls (the "single-rank case under the async path" contract).
+// Both schedules must reproduce the global batched group walk (same kernel
+// backend as the Simulation default) bit-for-bit on one rank: no LETs exist,
+// so async adds only the executor lane around the same stage calls (the
+// "single-rank case under the async path" contract). Batches drain in group
+// walk order regardless of which pool thread runs the group, so the serial
+// reference walk is bitwise comparable.
 class OneRankExactness : public ::testing::TestWithParam<bool> {};
 
 TEST_P(OneRankExactness, MatchesGlobalGroupWalkExactly) {
@@ -339,7 +350,8 @@ TEST_P(OneRankExactness, MatchesGlobalGroupWalkExactly) {
   EXPECT_EQ(rep.let_cells, 0u);  // nothing to exchange with yourself
   const ParticleSet got = sim.gather();
 
-  const ParticleSet ref = global_tree_forces(global, cfg.theta, cfg.eps);
+  const ParticleSet ref = global_tree_forces(global, cfg.theta, cfg.eps,
+                                             Octree::kDefaultNLeaf, 64, cfg.kernel);
   ASSERT_EQ(got.size(), ref.size());
   for (std::size_t i = 0; i < ref.size(); ++i) {
     ASSERT_EQ(got.id[i], ref.id[i]);

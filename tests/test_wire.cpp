@@ -460,6 +460,7 @@ TEST(Wire, ControlFramesRoundTrip) {
   cfg.curve = sfc::CurveType::kMorton;
   cfg.balance = domain::BalanceMode::kCost;
   cfg.trace = true;
+  cfg.kernel = KernelBackend::kScalar;
   const domain::SimConfig back = wire::decode_config(wire::encode_config(cfg));
   EXPECT_EQ(back.nranks, 6);
   EXPECT_DOUBLE_EQ(back.theta, 0.3);
@@ -471,6 +472,7 @@ TEST(Wire, ControlFramesRoundTrip) {
   EXPECT_EQ(back.curve, sfc::CurveType::kMorton);
   EXPECT_EQ(back.balance, domain::BalanceMode::kCost);
   EXPECT_TRUE(back.trace);
+  EXPECT_EQ(back.kernel, KernelBackend::kScalar);
 }
 
 TEST(Wire, StepBeginAndResultRoundTrip) {
@@ -494,6 +496,12 @@ TEST(Wire, StepBeginAndResultRoundTrip) {
   sr.let_cells = 100;
   sr.let_particles = 50;
   sr.local_stats = {10, 20};
+  sr.local_stats.p2p_padded = 16;
+  sr.local_stats.p2c_padded = 24;
+  sr.local_stats.pp_batches = 3;
+  sr.local_stats.pc_batches = 2;
+  sr.local_stats.batch_hist[0] = 1;
+  sr.local_stats.batch_hist[kBatchHistBuckets - 1] = 4;
   sr.remote_stats = {30, 40};
   sr.times.add("Gravity local", 0.5);
   sr.times.add("Sorting SFC", 0.125);
@@ -504,7 +512,13 @@ TEST(Wire, StepBeginAndResultRoundTrip) {
   EXPECT_EQ(rback.rank, 2);
   EXPECT_EQ(rback.let_cells, 100u);
   EXPECT_EQ(rback.local_stats.p2p, 10u);
+  EXPECT_EQ(rback.local_stats.p2p_padded, 16u);
+  EXPECT_EQ(rback.local_stats.p2c_padded, 24u);
+  EXPECT_EQ(rback.local_stats.pp_batches, 3u);
+  EXPECT_EQ(rback.local_stats.pc_batches, 2u);
+  EXPECT_EQ(rback.local_stats.batch_hist, sr.local_stats.batch_hist);
   EXPECT_EQ(rback.remote_stats.p2c, 40u);
+  EXPECT_EQ(rback.remote_stats.pp_batches, 0u);
   EXPECT_DOUBLE_EQ(rback.times.get("Gravity local"), 0.5);
   EXPECT_EQ(rback.times.entries()[1].name, "Sorting SFC");
   ASSERT_EQ(rback.let_sizes.size(), 1u);
