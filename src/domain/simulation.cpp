@@ -565,6 +565,23 @@ std::vector<const ParticleSet*> rank_sets(const std::vector<std::unique_ptr<Rank
 
 ParticleSet Simulation::gather() const { return gather_sorted(rank_sets(ranks_)); }
 
+std::vector<ParticleSet> Simulation::checkpoint_sets() const {
+  std::vector<ParticleSet> sets;
+  sets.reserve(ranks_.size());
+  for (const auto& rank : ranks_) sets.push_back(rank->parts());
+  return sets;
+}
+
+void Simulation::restore(std::vector<ParticleSet> sets, int next_step) {
+  BONSAI_CHECK_MSG(sets.size() == ranks_.size(),
+                   "checkpoint rank count must match the simulation config");
+  for (std::size_t r = 0; r < ranks_.size(); ++r)
+    ranks_[r]->parts() = std::move(sets[r]);
+  next_step_ = next_step;
+  prev_gravity_seconds_.clear();
+  prev_rank_size_.clear();
+}
+
 std::size_t Simulation::num_particles() const {
   std::size_t n = 0;
   for (const auto& rank : ranks_) n += rank->parts().size();

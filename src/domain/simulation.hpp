@@ -143,6 +143,18 @@ class Simulation {
   double kinetic_energy() const;
   double potential_energy() const;
 
+  // Checkpoint/restore seam (the job server's preemption primitive): the
+  // per-rank populations in array order plus the step counter are, under
+  // count balancing, the complete input of the next step — step() resamples
+  // the decomposition and key space from the sets before anything else.
+  // Restoring a checkpoint into a fresh Simulation with the same config
+  // therefore continues bit-for-bit where the checkpointed run left off
+  // (cost balancing resumes too, but falls back to the equal-count cut on
+  // its first step: measured gravity seconds are not replayable).
+  std::vector<ParticleSet> checkpoint_sets() const;
+  void restore(std::vector<ParticleSet> sets, int next_step);
+  int next_step() const { return next_step_; }
+
  private:
   // Domain update + particle exchange; records driver-level timings/counts.
   void redistribute(StepReport& report, TimeBreakdown& driver_times);

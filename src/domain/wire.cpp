@@ -285,6 +285,13 @@ const char* frame_type_name(FrameType type) {
     case FrameType::kPeerDirectory: return "PeerDirectory";
     case FrameType::kPeerHello: return "PeerHello";
     case FrameType::kTrace: return "Trace";
+    case FrameType::kJobSubmit: return "JobSubmit";
+    case FrameType::kJobStatus: return "JobStatus";
+    case FrameType::kJobResult: return "JobResult";
+    case FrameType::kJobCancel: return "JobCancel";
+    case FrameType::kSnapshot: return "Snapshot";
+    case FrameType::kMetricsQuery: return "MetricsQuery";
+    case FrameType::kMetricsReport: return "MetricsReport";
   }
   return "Unknown";
 }
@@ -832,5 +839,190 @@ TraceFrame decode_trace(std::span<const std::uint8_t> frame) {
 }
 
 std::vector<std::uint8_t> encode_shutdown() { return Writer(FrameType::kShutdown).finish(); }
+
+const char* job_state_name(JobState state) {
+  switch (state) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kSuspended: return "suspended";
+    case JobState::kCompleted: return "completed";
+    case JobState::kCancelled: return "cancelled";
+    case JobState::kFailed: return "failed";
+    case JobState::kRejected: return "rejected";
+  }
+  return "unknown";
+}
+
+namespace {
+
+JobState read_job_state(Reader& r) {
+  const std::uint8_t state = r.u8();
+  r.require(state <= static_cast<std::uint8_t>(JobState::kRejected),
+            "unknown job state");
+  return static_cast<JobState>(state);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_job_submit(const JobSpec& spec) {
+  Writer w(FrameType::kJobSubmit);
+  put_string(w, spec.name);
+  w.u64(spec.n);
+  w.u64(spec.seed);
+  w.i32(spec.steps);
+  w.i32(spec.ranks);
+  w.i32(spec.priority);
+  w.f64(spec.theta);
+  w.f64(spec.eps);
+  w.f64(spec.dt);
+  w.u8(static_cast<std::uint8_t>(spec.kernel));
+  put_particle_payload(w, -1, spec.parts, /*with_forces=*/false);
+  return w.finish();
+}
+
+JobSpec decode_job_submit(std::span<const std::uint8_t> frame) {
+  Reader r = open_frame(frame, FrameType::kJobSubmit);
+  JobSpec spec;
+  spec.name = read_string(r, "job name exceeds payload");
+  spec.n = r.u64();
+  spec.seed = r.u64();
+  spec.steps = r.i32();
+  spec.ranks = r.i32();
+  spec.priority = r.i32();
+  spec.theta = r.f64();
+  spec.eps = r.f64();
+  spec.dt = r.f64();
+  const std::uint8_t kernel = r.u8();
+  r.require(kernel <= static_cast<std::uint8_t>(KernelBackend::kSimdFloat),
+            "job kernel backend out of range");
+  spec.kernel = static_cast<KernelBackend>(kernel);
+  ParticleBatch batch = read_particle_payload(r);
+  r.require(!batch.with_forces, "job initial condition must travel force-free");
+  spec.parts = std::move(batch.parts);
+  r.done();
+  r.require(spec.steps >= 0, "job step count negative");
+  r.require(spec.ranks >= 0 && spec.ranks <= 255, "job rank request out of range");
+  return spec;
+}
+
+std::vector<std::uint8_t> encode_job_status(const JobStatusMsg& status) {
+  Writer w(FrameType::kJobStatus);
+  w.i32(status.job_id);
+  w.u8(static_cast<std::uint8_t>(status.state));
+  w.u8(status.wait ? 1 : 0);
+  w.i32(status.steps_done);
+  w.i32(status.steps_total);
+  w.i32(status.ranks);
+  w.i32(status.priority);
+  w.u64(status.n);
+  put_string(w, status.reason);
+  return w.finish();
+}
+
+JobStatusMsg decode_job_status(std::span<const std::uint8_t> frame) {
+  Reader r = open_frame(frame, FrameType::kJobStatus);
+  JobStatusMsg status;
+  status.job_id = r.i32();
+  status.state = read_job_state(r);
+  const std::uint8_t wait = r.u8();
+  r.require(wait <= 1, "unknown job status flags");
+  status.wait = wait != 0;
+  status.steps_done = r.i32();
+  status.steps_total = r.i32();
+  status.ranks = r.i32();
+  status.priority = r.i32();
+  status.n = r.u64();
+  status.reason = read_string(r, "job status reason exceeds payload");
+  r.done();
+  return status;
+}
+
+std::vector<std::uint8_t> encode_job_result(const JobResultMsg& result) {
+  Writer w(FrameType::kJobResult);
+  w.i32(result.job_id);
+  w.u8(static_cast<std::uint8_t>(result.state));
+  w.i32(result.steps_done);
+  w.f64(result.kinetic);
+  w.f64(result.potential);
+  put_string(w, result.reason);
+  put_particle_payload(w, -1, result.parts, /*with_forces=*/true);
+  return w.finish();
+}
+
+JobResultMsg decode_job_result(std::span<const std::uint8_t> frame) {
+  Reader r = open_frame(frame, FrameType::kJobResult);
+  JobResultMsg result;
+  result.job_id = r.i32();
+  result.state = read_job_state(r);
+  result.steps_done = r.i32();
+  result.kinetic = r.f64();
+  result.potential = r.f64();
+  result.reason = read_string(r, "job result reason exceeds payload");
+  ParticleBatch batch = read_particle_payload(r);
+  r.require(batch.with_forces, "job result batch must carry forces");
+  result.parts = std::move(batch.parts);
+  r.done();
+  return result;
+}
+
+std::vector<std::uint8_t> encode_job_cancel(std::int32_t job_id) {
+  Writer w(FrameType::kJobCancel);
+  w.i32(job_id);
+  return w.finish();
+}
+
+std::int32_t decode_job_cancel(std::span<const std::uint8_t> frame) {
+  Reader r = open_frame(frame, FrameType::kJobCancel);
+  const std::int32_t job_id = r.i32();
+  r.done();
+  return job_id;
+}
+
+std::vector<std::uint8_t> encode_snapshot(const SnapshotMsg& snap) {
+  Writer w(FrameType::kSnapshot);
+  w.i32(snap.job_id);
+  w.i32(snap.next_step);
+  w.u32(static_cast<std::uint32_t>(snap.sets.size()));
+  for (std::size_t r = 0; r < snap.sets.size(); ++r)
+    put_particle_payload(w, static_cast<int>(r), snap.sets[r], /*with_forces=*/true);
+  return w.finish();
+}
+
+SnapshotMsg decode_snapshot(std::span<const std::uint8_t> frame) {
+  Reader r = open_frame(frame, FrameType::kSnapshot);
+  SnapshotMsg snap;
+  snap.job_id = r.i32();
+  snap.next_step = r.i32();
+  // Minimum per-set footprint: the particle payload prologue (src + flags +
+  // count) of an empty set.
+  const std::size_t nsets =
+      r.array_count(r.u32(), 4 + 1 + 8, "snapshot set count exceeds payload");
+  r.require(nsets <= 255, "snapshot rank count out of range");
+  snap.sets.reserve(nsets);
+  for (std::size_t i = 0; i < nsets; ++i) {
+    ParticleBatch batch = read_particle_payload(r);
+    r.require(batch.with_forces, "snapshot sets must carry forces");
+    snap.sets.push_back(std::move(batch.parts));
+  }
+  r.done();
+  return snap;
+}
+
+std::vector<std::uint8_t> encode_metrics_query() {
+  return Writer(FrameType::kMetricsQuery).finish();
+}
+
+std::vector<std::uint8_t> encode_metrics_report(const metrics::Snapshot& snapshot) {
+  Writer w(FrameType::kMetricsReport);
+  put_metrics(w, snapshot);
+  return w.finish();
+}
+
+metrics::Snapshot decode_metrics_report(std::span<const std::uint8_t> frame) {
+  Reader r = open_frame(frame, FrameType::kMetricsReport);
+  metrics::Snapshot m = read_metrics(r);
+  r.done();
+  return m;
+}
 
 }  // namespace bonsai::domain::wire

@@ -38,8 +38,11 @@ namespace bonsai::domain::wire {
 // StepResult) and the trace flag in Config. Version 5 adds the kernel-backend
 // selector to Config and the batched-engine counters (padded interactions,
 // batch counts, batch-size histogram) to the StepResult interaction stats.
+// Version 6 adds the job-server client protocol (JobSubmit / JobStatus /
+// JobResult / JobCancel / Snapshot) and the live metrics scrape
+// (MetricsQuery / MetricsReport).
 inline constexpr std::uint32_t kMagic = 0x57534E42u;
-inline constexpr std::uint16_t kVersion = 5;
+inline constexpr std::uint16_t kVersion = 6;
 inline constexpr std::size_t kHeaderBytes = 16;
 
 enum class FrameType : std::uint16_t {
@@ -49,13 +52,21 @@ enum class FrameType : std::uint16_t {
   kConfig = 4,     // coordinator -> worker: simulation parameters
   kStepBegin = 5,  // coordinator -> worker: step inputs (+ batch in hub mode)
   kStepResult = 6, // worker -> coordinator: timings, stats (+ batch in hub mode)
-  kShutdown = 7,   // coordinator -> worker: exit cleanly
+  kShutdown = 7,   // coordinator -> worker: exit cleanly; client -> job server:
+                   // stop serving
   kBoundaries = 8, // SPMD allgather: one rank's local bounds/population/weight
   kKeySamples = 9, // SPMD allgather: one rank's sampled SFC keys
   kMigration = 10, // SPMD peer-to-peer: owner-changing particles (alltoallv cell)
   kPeerDirectory = 11,  // coordinator -> worker: every worker's mesh endpoint
   kPeerHello = 12,      // worker -> worker: dialing rank's id on a fresh mesh link
   kTrace = 13,          // worker -> coordinator: step spans + metric deltas
+  kJobSubmit = 14,      // client -> job server: job spec (+ optional explicit IC)
+  kJobStatus = 15,      // client <-> job server: status request / description
+  kJobResult = 16,      // job server -> client: terminal state + final particles
+  kJobCancel = 17,      // client -> job server: cancel a queued or running job
+  kSnapshot = 18,       // checkpoint/snapshot: per-rank populations + step
+  kMetricsQuery = 19,   // client -> job server: scrape the metrics registry
+  kMetricsReport = 20,  // job server -> client: the registry snapshot
 };
 
 // Human-readable frame type name for reports ("Let", "Migration", ...).
@@ -287,5 +298,104 @@ std::vector<std::uint8_t> encode_trace(const TraceFrame& tf);
 TraceFrame decode_trace(std::span<const std::uint8_t> frame);
 
 std::vector<std::uint8_t> encode_shutdown();
+
+// --- Job-server client protocol (wire v6; see src/serve/) --------------------
+// Lifecycle of a job on the server. Rejected/Failed/Cancelled/Completed are
+// terminal; Suspended jobs hold a disk checkpoint and resume when slots free.
+enum class JobState : std::uint8_t {
+  kQueued = 0,     // admitted, waiting for rank slots
+  kRunning = 1,    // stepping on its slice of the rank pool
+  kSuspended = 2,  // preempted: checkpointed to disk, slots released
+  kCompleted = 3,  // all steps done, result available
+  kCancelled = 4,  // cancelled by a client before completion
+  kFailed = 5,     // runner threw; reason carries the message
+  kRejected = 6,   // admission control refused it; reason names the limit
+};
+
+// Human-readable state name ("queued", "running", ...).
+const char* job_state_name(JobState state);
+
+// What a client asks the server to run. When `parts` is empty the server
+// generates a Plummer sphere from (n, seed); otherwise `parts` is the
+// explicit force-free initial condition (e.g. a --snapshot-in file) and `n`
+// is ignored. `ranks` = 0 lets the scheduler size the job's slice of the
+// rank pool; `priority` orders the queue, and a higher-priority job may
+// preempt a running lower-priority one.
+struct JobSpec {
+  std::string name;
+  std::uint64_t n = 0;
+  std::uint64_t seed = 42;
+  std::int32_t steps = 1;
+  std::int32_t ranks = 0;
+  std::int32_t priority = 0;
+  double theta = 0.4;
+  double eps = 1e-2;
+  double dt = 1e-3;
+  KernelBackend kernel = KernelBackend::kSimd;
+  ParticleSet parts;
+};
+
+std::vector<std::uint8_t> encode_job_submit(const JobSpec& spec);
+JobSpec decode_job_submit(std::span<const std::uint8_t> frame);
+
+// One job's description. Client -> server it is a request (only job_id —
+// and `wait`, which asks the server to block until the job is terminal and
+// answer with a JobResult frame instead); server -> client it is the reply
+// to a submit, status or cancel, fully filled. `reason` carries the
+// admission-rejection or failure detail.
+struct JobStatusMsg {
+  std::int32_t job_id = -1;
+  JobState state = JobState::kQueued;
+  bool wait = false;
+  std::int32_t steps_done = 0;
+  std::int32_t steps_total = 0;
+  std::int32_t ranks = 0;
+  std::int32_t priority = 0;
+  std::uint64_t n = 0;
+  std::string reason;
+};
+
+std::vector<std::uint8_t> encode_job_status(const JobStatusMsg& status);
+JobStatusMsg decode_job_status(std::span<const std::uint8_t> frame);
+
+// Terminal answer to a `wait` request: the final state, energies, and — for
+// completed jobs — the particle population with forces, sorted by id.
+struct JobResultMsg {
+  std::int32_t job_id = -1;
+  JobState state = JobState::kCompleted;
+  std::int32_t steps_done = 0;
+  double kinetic = 0.0;
+  double potential = 0.0;
+  std::string reason;
+  ParticleSet parts;
+};
+
+std::vector<std::uint8_t> encode_job_result(const JobResultMsg& result);
+JobResultMsg decode_job_result(std::span<const std::uint8_t> frame);
+
+std::vector<std::uint8_t> encode_job_cancel(std::int32_t job_id);
+std::int32_t decode_job_cancel(std::span<const std::uint8_t> frame);
+
+// A checkpoint/snapshot: the per-rank populations in array order (forces
+// included) plus the step counter. Under count balancing these are the
+// complete input of the next step, so restoring them into a fresh Simulation
+// with the same config resumes bit-for-bit — this frame is the job server's
+// preemption checkpoint, the --snapshot-out/--snapshot-in file format, and
+// the reply to a client's snapshot request (an empty-`sets` Snapshot frame
+// carrying the job id).
+struct SnapshotMsg {
+  std::int32_t job_id = -1;  // -1: standalone file outside the server
+  std::int32_t next_step = 0;
+  std::vector<ParticleSet> sets;
+};
+
+std::vector<std::uint8_t> encode_snapshot(const SnapshotMsg& snap);
+SnapshotMsg decode_snapshot(std::span<const std::uint8_t> frame);
+
+// Live scrape of a running server's metrics registry (job-labeled step
+// aggregates plus the server's own counters/gauges).
+std::vector<std::uint8_t> encode_metrics_query();
+std::vector<std::uint8_t> encode_metrics_report(const metrics::Snapshot& snapshot);
+metrics::Snapshot decode_metrics_report(std::span<const std::uint8_t> frame);
 
 }  // namespace bonsai::domain::wire

@@ -19,6 +19,9 @@
 
 #include "domain/cluster.hpp"
 #include "domain/simulation.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "serve/snapshot.hpp"
 #include "tree/direct.hpp"
 #include "util/cli.hpp"
 #include "util/compare.hpp"
@@ -68,6 +71,54 @@ void register_flags(bonsai::CommandLine& cli) {
   cli.add_option("coordinator", "HOST:PORT", "worker mode: coordinator address");
   cli.add_option("listen-port", "P",
                  "worker mode, mesh topology: own listen port (default: ephemeral)");
+  cli.add_option("snapshot-in", "FILE",
+                 "read initial particles from a snapshot file instead of "
+                 "generating a Plummer model");
+  cli.add_option("snapshot-out", "FILE",
+                 "write the final particle state as a snapshot file (also the "
+                 "client-side sink for --job-snapshot / --job-wait)");
+  cli.add_option("serve", "P",
+                 "run as a resident job server on 127.0.0.1:P (0 = ephemeral)");
+  cli.add_option("pool-slots", "S", "job server: total rank slots (default: hardware)");
+  cli.add_option("max-jobs", "J", "job server: max resident jobs (default 8)");
+  cli.add_option("max-particles", "N",
+                 "job server: max resident particles across jobs (default 4194304)");
+  cli.add_option("spool-dir", "DIR",
+                 "job server: preemption checkpoint directory (default .)");
+  cli.add_option("serve-bench", "DIR", "job server: write per-job bench JSON into DIR");
+  cli.add_option("server", "HOST:PORT", "client mode: job server address");
+  cli.add_switch("submit",
+                 "client: submit a job described by --n/--steps/--theta/--eps/"
+                 "--dt/--seed/--kernel (or --snapshot-in as the IC)");
+  cli.add_option("job-name", "NAME", "client submit: job name label");
+  cli.add_option("job-ranks", "R",
+                 "client submit: explicit rank count (default 0: the scheduler "
+                 "sizes the job by its share of resident particles)");
+  cli.add_option("priority", "P",
+                 "client submit: scheduling priority; a higher-priority job may "
+                 "preempt a running lower-priority one (default 0)");
+  cli.add_switch("wait", "client submit: block until the job finishes");
+  cli.add_option("job-status", "ID", "client: poll one job's status");
+  cli.add_option("job-wait", "ID", "client: block until job ID reaches a terminal state");
+  cli.add_option("job-cancel", "ID", "client: cancel job ID");
+  cli.add_option("job-snapshot", "ID",
+                 "client: fetch job ID's current snapshot (--snapshot-out FILE)");
+  cli.add_switch("server-metrics", "client: scrape the server metrics registry as JSON");
+  cli.add_switch("server-shutdown", "client: stop the server");
+}
+
+// Parse HOST:PORT (shared by --coordinator and --server).
+std::pair<std::string, std::uint16_t> parse_host_port(const std::string& value,
+                                                      const char* flag) {
+  const auto colon = value.rfind(':');
+  if (colon == std::string::npos || colon + 1 == value.size())
+    throw bonsai::CliError(std::string(flag) + " expects HOST:PORT, got '" + value + "'");
+  const std::string port_str = value.substr(colon + 1);
+  char* end = nullptr;
+  const long port_val = std::strtol(port_str.c_str(), &end, 10);
+  if (end == port_str.c_str() || *end != '\0' || port_val < 1 || port_val > 65535)
+    throw bonsai::CliError(std::string(flag) + ": bad port '" + port_str + "'");
+  return {value.substr(0, colon), static_cast<std::uint16_t>(port_val)};
 }
 
 // Write the --bench trajectory; returns false (with a message) on I/O error.
@@ -183,17 +234,8 @@ int run_steps(SimT& sim, const bonsai::ParticleSet& initial, int steps,
 // [--topology mesh --listen-port P].
 int run_worker_mode(const bonsai::CommandLine& cli,
                     bonsai::domain::SocketTopology topology) {
-  const std::string coord = cli.get("coordinator", "127.0.0.1:0");
-  const auto colon = coord.rfind(':');
-  if (colon == std::string::npos || colon + 1 == coord.size())
-    throw bonsai::CliError("--coordinator expects HOST:PORT, got '" + coord + "'");
-  const std::string host = coord.substr(0, colon);
-  const std::string port_str = coord.substr(colon + 1);
-  char* end = nullptr;
-  const long port_val = std::strtol(port_str.c_str(), &end, 10);
-  if (end == port_str.c_str() || *end != '\0' || port_val < 1 || port_val > 65535)
-    throw bonsai::CliError("--coordinator: bad port '" + port_str + "'");
-  const auto port = static_cast<std::uint16_t>(port_val);
+  const auto [host, port] = parse_host_port(cli.get("coordinator", "127.0.0.1:0"),
+                                            "--coordinator");
   const int rank_id = static_cast<int>(cli.get_int("rank-id", -1));
   const auto threads = static_cast<std::size_t>(cli.get_int("threads", 0));
   const std::int64_t listen_port = cli.get_int("listen-port", 0);
@@ -202,6 +244,149 @@ int run_worker_mode(const bonsai::CommandLine& cli,
                            std::to_string(listen_port) + "'");
   return bonsai::domain::run_worker(host, port, rank_id, threads, topology,
                                     static_cast<std::uint16_t>(listen_port));
+}
+
+// Server mode: --serve P. Resident until a client sends --server-shutdown.
+int run_serve_mode(const bonsai::CommandLine& cli) {
+  const std::int64_t port = cli.get_int("serve", 0);
+  if (port < 0 || port > 65535)
+    throw bonsai::CliError("--serve: expected 0-65535, got '" + std::to_string(port) + "'");
+  bonsai::serve::ServerConfig scfg;
+  scfg.port = static_cast<std::uint16_t>(port);
+  scfg.limits.pool_slots = static_cast<int>(cli.get_int("pool-slots", 0));
+  scfg.limits.max_concurrent_jobs = static_cast<int>(cli.get_int("max-jobs", 8));
+  scfg.limits.max_resident_particles =
+      static_cast<std::uint64_t>(cli.get_int("max-particles", 4194304));
+  scfg.spool_dir = cli.get("spool-dir", ".");
+  scfg.bench_dir = cli.get("serve-bench", "");
+  if (scfg.limits.max_concurrent_jobs < 1 || scfg.limits.max_resident_particles < 1)
+    throw bonsai::CliError("--max-jobs/--max-particles must be at least 1");
+  bonsai::serve::JobServer server(scfg);
+  // Flushed line with the bound port, so scripts can wait for readiness.
+  std::cout << "serve: job server on 127.0.0.1:" << server.port()
+            << " pool_slots=" << server.pool_slots()
+            << " max_jobs=" << scfg.limits.max_concurrent_jobs
+            << " max_particles=" << scfg.limits.max_resident_particles << std::endl;
+  server.wait_for_shutdown();
+  std::cout << "serve: shutdown requested, draining\n";
+  server.shutdown();
+  return 0;
+}
+
+void print_job_status(const bonsai::domain::wire::JobStatusMsg& st) {
+  std::cout << "job " << st.job_id << ": " << bonsai::domain::wire::job_state_name(st.state)
+            << " steps " << st.steps_done << "/" << st.steps_total << " ranks=" << st.ranks
+            << " priority=" << st.priority << " n=" << st.n;
+  if (!st.reason.empty()) std::cout << " (" << st.reason << ")";
+  std::cout << "\n";
+}
+
+// Render a terminal job result; writes the final state as a snapshot file
+// when `snapshot_out` is given. Exit code 0 only for a completed job.
+int print_job_result(const bonsai::domain::wire::JobResultMsg& res,
+                     const std::string& snapshot_out) {
+  namespace wire = bonsai::domain::wire;
+  std::cout << "job " << res.job_id << ": " << wire::job_state_name(res.state)
+            << " steps_done=" << res.steps_done;
+  if (res.state == wire::JobState::kCompleted)
+    std::cout << " K=" << bonsai::TextTable::num(res.kinetic, 6)
+              << " W=" << bonsai::TextTable::num(res.potential, 6)
+              << " E=" << bonsai::TextTable::num(res.kinetic + res.potential, 6);
+  if (!res.reason.empty()) std::cout << " (" << res.reason << ")";
+  std::cout << "\n";
+  if (!snapshot_out.empty() && res.parts.size() > 0) {
+    wire::SnapshotMsg snap;
+    snap.job_id = res.job_id;
+    snap.next_step = res.steps_done;
+    snap.sets.push_back(res.parts);
+    bonsai::serve::write_snapshot_file(snapshot_out, snap);
+    std::cout << "snapshot: wrote " << res.parts.size() << " particle(s) to "
+              << snapshot_out << "\n";
+  }
+  return res.state == wire::JobState::kCompleted ? 0 : 1;
+}
+
+// Client mode: --server HOST:PORT plus exactly one action flag.
+int run_client_mode(const bonsai::CommandLine& cli) {
+  namespace wire = bonsai::domain::wire;
+  namespace serve = bonsai::serve;
+  const auto [host, port] = parse_host_port(cli.get("server", ""), "--server");
+  const std::string snapshot_out = cli.get("snapshot-out", "");
+
+  if (cli.get_bool("server-shutdown", false)) {
+    serve::request_shutdown(host, port);
+    std::cout << "server: shutdown requested\n";
+    return 0;
+  }
+  if (cli.get_bool("server-metrics", false)) {
+    bonsai::metrics::to_json(std::cout, serve::fetch_metrics(host, port));
+    std::cout << "\n";
+    return 0;
+  }
+  if (cli.has("job-status")) {
+    const auto st = serve::job_status(host, port,
+                                      static_cast<std::int32_t>(cli.get_int("job-status", -1)));
+    print_job_status(st);
+    return st.state == wire::JobState::kRejected ? 1 : 0;
+  }
+  if (cli.has("job-cancel")) {
+    const auto st = serve::cancel_job(host, port,
+                                      static_cast<std::int32_t>(cli.get_int("job-cancel", -1)));
+    print_job_status(st);
+    return st.state == wire::JobState::kRejected ? 1 : 0;
+  }
+  if (cli.has("job-wait")) {
+    return print_job_result(
+        serve::wait_job(host, port, static_cast<std::int32_t>(cli.get_int("job-wait", -1))),
+        snapshot_out);
+  }
+  if (cli.has("job-snapshot")) {
+    const auto id = static_cast<std::int32_t>(cli.get_int("job-snapshot", -1));
+    const wire::SnapshotMsg snap = serve::fetch_snapshot(host, port, id);
+    std::size_t total = 0;
+    for (const auto& s : snap.sets) total += s.size();
+    std::cout << "job " << id << ": snapshot at step " << snap.next_step << " with "
+              << snap.sets.size() << " rank set(s), " << total << " particle(s)\n";
+    if (snapshot_out.empty())
+      throw bonsai::CliError("--job-snapshot needs --snapshot-out FILE");
+    serve::write_snapshot_file(snapshot_out, snap);
+    std::cout << "snapshot: wrote " << total << " particle(s) to " << snapshot_out << "\n";
+    return total > 0 ? 0 : 1;
+  }
+  if (cli.get_bool("submit", false)) {
+    wire::JobSpec spec;
+    spec.name = cli.get("job-name", "");
+    spec.n = static_cast<std::uint64_t>(cli.get_int("n", 16384));
+    spec.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+    spec.steps = static_cast<std::int32_t>(cli.get_int("steps", 4));
+    spec.ranks = static_cast<std::int32_t>(cli.get_int("job-ranks", 0));
+    spec.priority = static_cast<std::int32_t>(cli.get_int("priority", 0));
+    spec.theta = cli.get_double("theta", 0.4);
+    spec.eps = cli.get_double("eps", 1e-2);
+    spec.dt = cli.get_double("dt", 1e-3);
+    const std::string kernel_name = cli.get("kernel", "simd");
+    const auto kernel = bonsai::kernel_backend_from_name(kernel_name);
+    if (!kernel)
+      throw bonsai::CliError("--kernel: expected scalar, simd or simd-float, got '" +
+                             kernel_name + "'");
+    spec.kernel = *kernel;
+    const std::string snapshot_in = cli.get("snapshot-in", "");
+    if (!snapshot_in.empty())
+      spec.parts = serve::flatten_snapshot(serve::read_snapshot_file(snapshot_in));
+    const auto st = serve::submit_job(host, port, spec);
+    if (st.state == wire::JobState::kRejected) {
+      std::cout << "rejected: " << st.reason << "\n";
+      return 1;
+    }
+    std::cout << "submitted job " << st.job_id << " n=" << st.n << " steps="
+              << st.steps_total << " priority=" << st.priority << std::endl;
+    if (cli.get_bool("wait", false))
+      return print_job_result(serve::wait_job(host, port, st.job_id), snapshot_out);
+    return 0;
+  }
+  throw bonsai::CliError(
+      "--server needs one of --submit, --job-status, --job-wait, --job-cancel, "
+      "--job-snapshot, --server-metrics, --server-shutdown");
 }
 
 }  // namespace
@@ -216,6 +401,9 @@ int main(int argc, char** argv) {
       std::cout << cli.help("bonsai_sim", "multi-rank Barnes-Hut gravity driver");
       return 0;
     }
+
+    if (cli.has("serve")) return run_serve_mode(cli);
+    if (cli.has("server")) return run_client_mode(cli);
 
     const std::string transport = cli.get("transport", "inproc");
     if (transport != "inproc" && transport != "socket")
@@ -252,7 +440,7 @@ int main(int argc, char** argv) {
       throw bonsai::CliError("--listen-port only applies to --rank-id workers");
 
     bonsai::domain::SimConfig cfg;
-    const auto n = static_cast<std::size_t>(cli.get_int("n", 16384));
+    auto n = static_cast<std::size_t>(cli.get_int("n", 16384));
     cfg.nranks = static_cast<int>(cli.get_int("ranks", 4));
     cfg.theta = cli.get_double("theta", 0.4);
     cfg.eps = cli.get_double("eps", 1e-2);
@@ -278,6 +466,22 @@ int main(int argc, char** argv) {
     const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
     const bool validate = cli.get_bool("validate", false);
 
+    const std::string snapshot_in = cli.get("snapshot-in", "");
+    const std::string snapshot_out = cli.get("snapshot-out", "");
+    if (!snapshot_out.empty() && (socket_mode || validate))
+      throw bonsai::CliError(
+          "--snapshot-out applies to plain in-process runs (it checkpoints "
+          "the Simulation's per-rank state after the last step)");
+
+    bonsai::ParticleSet initial;
+    if (!snapshot_in.empty()) {
+      initial = bonsai::serve::flatten_snapshot(bonsai::serve::read_snapshot_file(snapshot_in));
+      n = initial.size();
+      std::cout << "snapshot: read " << n << " particle(s) from " << snapshot_in << "\n";
+    } else {
+      initial = bonsai::make_plummer(n, seed);
+    }
+
     bonsai::domain::RunInfo info;
     info.ranks = cfg.nranks;
     info.num_particles = n;
@@ -296,8 +500,6 @@ int main(int argc, char** argv) {
               << (cfg.async ? " schedule=async" : " schedule=lockstep")
               << (cfg.balance == bonsai::domain::BalanceMode::kCost ? " balance=cost" : "")
               << "\n";
-
-    const bonsai::ParticleSet initial = bonsai::make_plummer(n, seed);
 
     if (socket_mode) {
       if (!cfg.async)
@@ -341,7 +543,17 @@ int main(int argc, char** argv) {
       return run_validation(sim, force_cfg, initial, info, bench_path, trace_path);
     }
     bonsai::domain::Simulation sim(cfg);
-    return run_steps(sim, initial, steps, info, bench_path, trace_path);
+    const int rc = run_steps(sim, initial, steps, info, bench_path, trace_path);
+    if (rc == 0 && !snapshot_out.empty()) {
+      bonsai::domain::wire::SnapshotMsg snap;
+      snap.job_id = -1;
+      snap.next_step = sim.next_step();
+      snap.sets = sim.checkpoint_sets();
+      bonsai::serve::write_snapshot_file(snapshot_out, snap);
+      std::cout << "snapshot: wrote " << sim.num_particles() << " particle(s) to "
+                << snapshot_out << "\n";
+    }
+    return rc;
   } catch (const bonsai::CliError& e) {
     std::cerr << "bonsai_sim: " << e.what() << "\n";
     return 2;

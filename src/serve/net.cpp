@@ -1,0 +1,180 @@
+#include "serve/net.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "domain/wire.hpp"
+
+namespace bonsai::serve {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw NetError(what + ": " + std::strerror(errno));
+}
+
+void write_all(int fd, const std::uint8_t* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail("serve: send failed");
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+}
+
+// Read exactly `len` bytes. Returns false on EOF at the first byte when
+// `eof_ok`; EOF mid-buffer is always an error (a torn frame).
+bool read_all(int fd, std::uint8_t* data, std::size_t len, bool eof_ok) {
+  std::size_t got = 0;
+  while (got < len) {
+    const ssize_t n = ::recv(fd, data + got, len - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail("serve: recv failed");
+    }
+    if (n == 0) {
+      if (got == 0 && eof_ok) return false;
+      throw NetError("serve: connection closed mid-frame");
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::uint64_t header_payload_length(const std::uint8_t* header) {
+  std::uint64_t len = 0;
+  for (int i = 0; i < 8; ++i)
+    len |= static_cast<std::uint64_t>(header[8 + i]) << (8 * i);
+  return len;
+}
+
+std::uint32_t header_magic(const std::uint8_t* header) {
+  std::uint32_t magic = 0;
+  for (int i = 0; i < 4; ++i)
+    magic |= static_cast<std::uint32_t>(header[i]) << (8 * i);
+  return magic;
+}
+
+}  // namespace
+
+FrameSocket& FrameSocket::operator=(FrameSocket&& o) noexcept {
+  if (this != &o) {
+    close();
+    fd_ = o.fd_;
+    o.fd_ = -1;
+  }
+  return *this;
+}
+
+void FrameSocket::send(std::span<const std::uint8_t> frame) {
+  if (fd_ < 0) throw NetError("serve: send on closed socket");
+  write_all(fd_, frame.data(), frame.size());
+}
+
+std::vector<std::uint8_t> FrameSocket::recv() {
+  std::optional<std::vector<std::uint8_t>> frame = recv_or_eof();
+  if (!frame) throw NetError("serve: connection closed before a frame arrived");
+  return std::move(*frame);
+}
+
+std::optional<std::vector<std::uint8_t>> FrameSocket::recv_or_eof() {
+  if (fd_ < 0) throw NetError("serve: recv on closed socket");
+  std::vector<std::uint8_t> buf(domain::wire::kHeaderBytes);
+  if (!read_all(fd_, buf.data(), buf.size(), /*eof_ok=*/true)) return std::nullopt;
+  // Magic and length are checked here so a garbage peer cannot make us
+  // allocate or block arbitrarily; everything else (version, type, payload
+  // structure) is the wire decoders' job on the complete buffer.
+  if (header_magic(buf.data()) != domain::wire::kMagic)
+    throw NetError("serve: stream out of sync (bad frame magic)");
+  const std::uint64_t payload = header_payload_length(buf.data());
+  if (payload > kMaxFrameBytes)
+    throw NetError("serve: frame length " + std::to_string(payload) +
+                   " exceeds limit " + std::to_string(kMaxFrameBytes));
+  buf.resize(domain::wire::kHeaderBytes + static_cast<std::size_t>(payload));
+  read_all(fd_, buf.data() + domain::wire::kHeaderBytes,
+           static_cast<std::size_t>(payload), /*eof_ok=*/false);
+  return buf;
+}
+
+void FrameSocket::shutdown_rw() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void FrameSocket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+FrameSocket dial(const std::string& host, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) fail("serve: socket failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw NetError("serve: bad host address '" + host + "'");
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    errno = err;
+    fail("serve: connect to " + host + ":" + std::to_string(port) + " failed");
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return FrameSocket(fd);
+}
+
+Listener::Listener(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) fail("serve: socket failed");
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0)
+    fail("serve: bind to port " + std::to_string(port) + " failed");
+  if (::listen(fd_, 64) != 0) fail("serve: listen failed");
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0)
+    fail("serve: getsockname failed");
+  port_ = ntohs(addr.sin_port);
+}
+
+std::optional<FrameSocket> Listener::accept() {
+  while (true) {
+    const int client = ::accept(fd_, nullptr, nullptr);
+    if (client >= 0) {
+      const int one = 1;
+      ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return FrameSocket(client);
+    }
+    if (errno == EINTR) continue;
+    // close() shut the listener down under us: a clean end of serving.
+    return std::nullopt;
+  }
+}
+
+void Listener::close() {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace bonsai::serve

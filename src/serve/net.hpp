@@ -1,0 +1,85 @@
+// Framed stream sockets for the job-server client protocol.
+//
+// The cluster's SocketTransport multiplexes rank-addressed frames over a
+// routed fabric; the job server needs something simpler — a request/response
+// stream per client connection — so this layer moves bare wire frames over
+// one TCP socket. The 16-byte wire header is self-delimiting (magic, version,
+// type, payload length), so no extra routing envelope is needed: the bytes on
+// a client link are exactly the bytes wire.cpp encodes, and a received buffer
+// is handed to the wire decoders for full validation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace bonsai::serve {
+
+// Connection-level failure (dial refused, peer vanished mid-frame, ...).
+// Byte-level problems inside a received frame stay wire::WireError.
+class NetError : public std::runtime_error {
+ public:
+  explicit NetError(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Frames larger than this are refused before any payload allocation — a
+// corrupt length field must not drive a multi-gigabyte resize.
+inline constexpr std::uint64_t kMaxFrameBytes = std::uint64_t{1} << 30;
+
+// One connected stream socket moving whole wire frames.
+class FrameSocket {
+ public:
+  explicit FrameSocket(int fd) : fd_(fd) {}
+  FrameSocket(FrameSocket&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  FrameSocket& operator=(FrameSocket&& o) noexcept;
+  FrameSocket(const FrameSocket&) = delete;
+  FrameSocket& operator=(const FrameSocket&) = delete;
+  ~FrameSocket() { close(); }
+
+  // Write one complete frame; throws NetError on a broken connection.
+  void send(std::span<const std::uint8_t> frame);
+
+  // Read one complete frame; throws NetError on EOF or a broken connection.
+  std::vector<std::uint8_t> recv();
+
+  // Like recv(), but a clean EOF before the first header byte returns
+  // nullopt instead of throwing (the way a client ends its session).
+  std::optional<std::vector<std::uint8_t>> recv_or_eof();
+
+  // Half-close both directions without releasing the fd. Safe to call from
+  // another thread while this socket blocks in recv() — the blocked call
+  // sees EOF and returns. (A plain close() from another thread does NOT
+  // reliably unblock a pending recv on Linux.)
+  void shutdown_rw();
+
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+// Dial HOST:PORT; throws NetError when the connection cannot be established.
+FrameSocket dial(const std::string& host, std::uint16_t port);
+
+// Listening socket on localhost. close() (from any thread) unblocks a
+// pending accept(), which then returns nullopt.
+class Listener {
+ public:
+  explicit Listener(std::uint16_t port);  // 0: ephemeral
+  ~Listener() { close(); }
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  std::uint16_t port() const { return port_; }
+  std::optional<FrameSocket> accept();
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace bonsai::serve

@@ -620,6 +620,298 @@ TEST(Wire, TraceFrameByteFlipsEitherDecodeOrThrow) {
   }
 }
 
+// ---- Job-server frames (wire v6) -------------------------------------------
+
+wire::JobSpec make_job_spec(bool with_parts) {
+  wire::JobSpec spec;
+  spec.name = "milky-way-disk";
+  spec.n = 100000;
+  spec.seed = 1234567;
+  spec.steps = 12;
+  spec.ranks = 6;
+  spec.priority = -3;
+  spec.theta = 0.35;
+  spec.eps = 2.5e-2;
+  spec.dt = 0.5e-3;
+  spec.kernel = KernelBackend::kScalar;
+  if (with_parts) spec.parts = make_plummer(48, 31);
+  return spec;
+}
+
+TEST(Wire, JobSubmitRoundTripsBitForBit) {
+  const wire::JobSpec spec = make_job_spec(/*with_parts=*/true);
+  const std::vector<std::uint8_t> frame = wire::encode_job_submit(spec);
+  EXPECT_EQ(wire::frame_type(frame), wire::FrameType::kJobSubmit);
+  const wire::JobSpec back = wire::decode_job_submit(frame);
+  EXPECT_EQ(back.name, spec.name);
+  EXPECT_EQ(back.n, spec.n);
+  EXPECT_EQ(back.seed, spec.seed);
+  EXPECT_EQ(back.steps, spec.steps);
+  EXPECT_EQ(back.ranks, spec.ranks);
+  EXPECT_EQ(back.priority, spec.priority);
+  EXPECT_EQ(back.theta, spec.theta);  // bit-for-bit doubles
+  EXPECT_EQ(back.eps, spec.eps);
+  EXPECT_EQ(back.dt, spec.dt);
+  EXPECT_EQ(back.kernel, spec.kernel);
+  EXPECT_EQ(back.parts.x, spec.parts.x);
+  EXPECT_EQ(back.parts.vz, spec.parts.vz);
+  EXPECT_EQ(back.parts.mass, spec.parts.mass);
+  EXPECT_EQ(back.parts.id, spec.parts.id);
+
+  // Generator form: no particles, the server makes the IC from (n, seed).
+  const wire::JobSpec gen = wire::decode_job_submit(
+      wire::encode_job_submit(make_job_spec(/*with_parts=*/false)));
+  EXPECT_EQ(gen.parts.size(), 0u);
+  EXPECT_EQ(gen.n, 100000u);
+}
+
+TEST(Wire, JobStatusRoundTripsBothDirections) {
+  wire::JobStatusMsg st;
+  st.job_id = 17;
+  st.state = wire::JobState::kSuspended;
+  st.wait = true;
+  st.steps_done = 5;
+  st.steps_total = 40;
+  st.ranks = 3;
+  st.priority = -1;
+  st.n = 65536;
+  st.reason = "job queue full: max_concurrent_jobs=2";
+  const std::vector<std::uint8_t> frame = wire::encode_job_status(st);
+  EXPECT_EQ(wire::frame_type(frame), wire::FrameType::kJobStatus);
+  const wire::JobStatusMsg back = wire::decode_job_status(frame);
+  EXPECT_EQ(back.job_id, 17);
+  EXPECT_EQ(back.state, wire::JobState::kSuspended);
+  EXPECT_TRUE(back.wait);
+  EXPECT_EQ(back.steps_done, 5);
+  EXPECT_EQ(back.steps_total, 40);
+  EXPECT_EQ(back.ranks, 3);
+  EXPECT_EQ(back.priority, -1);
+  EXPECT_EQ(back.n, 65536u);
+  EXPECT_EQ(back.reason, st.reason);
+
+  // A corrupt state byte must be rejected, not cast blindly.
+  std::vector<std::uint8_t> bad = frame;
+  bad[wire::kHeaderBytes + 4] = 200;  // state sits right after job_id
+  EXPECT_THROW(wire::decode_job_status(bad), wire::WireError);
+}
+
+TEST(Wire, JobResultRoundTripsParticlesWithForces) {
+  wire::JobResultMsg res;
+  res.job_id = 9;
+  res.state = wire::JobState::kCompleted;
+  res.steps_done = 8;
+  res.kinetic = 0.25;
+  res.potential = -0.5078125;
+  res.parts = make_plummer(40, 3);
+  for (std::size_t i = 0; i < res.parts.size(); ++i) {
+    res.parts.ax[i] = 0.5 * static_cast<double>(i);
+    res.parts.pot[i] = -2.0 / (1.0 + static_cast<double>(i));
+  }
+  const std::vector<std::uint8_t> frame = wire::encode_job_result(res);
+  EXPECT_EQ(wire::frame_type(frame), wire::FrameType::kJobResult);
+  const wire::JobResultMsg back = wire::decode_job_result(frame);
+  EXPECT_EQ(back.job_id, 9);
+  EXPECT_EQ(back.state, wire::JobState::kCompleted);
+  EXPECT_EQ(back.steps_done, 8);
+  EXPECT_EQ(back.kinetic, 0.25);
+  EXPECT_EQ(back.potential, -0.5078125);
+  EXPECT_EQ(back.parts.x, res.parts.x);
+  EXPECT_EQ(back.parts.ax, res.parts.ax);  // forces travel in results
+  EXPECT_EQ(back.parts.pot, res.parts.pot);
+}
+
+TEST(Wire, JobCancelRoundTrip) {
+  const std::vector<std::uint8_t> frame = wire::encode_job_cancel(-7);
+  EXPECT_EQ(wire::frame_type(frame), wire::FrameType::kJobCancel);
+  EXPECT_EQ(wire::decode_job_cancel(frame), -7);
+}
+
+TEST(Wire, SnapshotRoundTripsPerRankSetsBitForBit) {
+  wire::SnapshotMsg snap;
+  snap.job_id = 4;
+  snap.next_step = 11;
+  snap.sets.resize(3);
+  snap.sets[0] = make_plummer(32, 5);
+  snap.sets[1] = make_plummer(17, 6);
+  // sets[2] stays empty: a drained rank must survive the trip.
+  for (auto& s : snap.sets)
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      s.ax[i] = 0.25 * static_cast<double>(i);
+      s.pot[i] = -1.0;
+      s.key[i] = 99 * i;
+    }
+  const std::vector<std::uint8_t> frame = wire::encode_snapshot(snap);
+  EXPECT_EQ(wire::frame_type(frame), wire::FrameType::kSnapshot);
+  const wire::SnapshotMsg back = wire::decode_snapshot(frame);
+  EXPECT_EQ(back.job_id, 4);
+  EXPECT_EQ(back.next_step, 11);
+  ASSERT_EQ(back.sets.size(), 3u);
+  for (std::size_t r = 0; r < 3; ++r) {
+    EXPECT_EQ(back.sets[r].x, snap.sets[r].x);
+    EXPECT_EQ(back.sets[r].vy, snap.sets[r].vy);
+    EXPECT_EQ(back.sets[r].ax, snap.sets[r].ax);  // checkpoints carry forces
+    EXPECT_EQ(back.sets[r].pot, snap.sets[r].pot);
+    EXPECT_EQ(back.sets[r].key, snap.sets[r].key);
+    EXPECT_EQ(back.sets[r].id, snap.sets[r].id);
+  }
+
+  // The request form: a job id and no sets.
+  wire::SnapshotMsg req;
+  req.job_id = 12;
+  const wire::SnapshotMsg rback = wire::decode_snapshot(wire::encode_snapshot(req));
+  EXPECT_EQ(rback.job_id, 12);
+  EXPECT_TRUE(rback.sets.empty());
+}
+
+TEST(Wire, MetricsQueryAndReportRoundTrip) {
+  EXPECT_EQ(wire::frame_type(wire::encode_metrics_query()),
+            wire::FrameType::kMetricsQuery);
+
+  metrics::Snapshot snap = make_trace_frame().metrics;
+  snap.counters["server.jobs.completed"] = 21.0;
+  snap.gauges["job.num_particles{job=3}"] = 65536.0;
+  const std::vector<std::uint8_t> frame = wire::encode_metrics_report(snap);
+  EXPECT_EQ(wire::frame_type(frame), wire::FrameType::kMetricsReport);
+  const metrics::Snapshot back = wire::decode_metrics_report(frame);
+  EXPECT_EQ(back.counters, snap.counters);
+  EXPECT_EQ(back.gauges, snap.gauges);
+  ASSERT_EQ(back.histograms.size(), 1u);
+  EXPECT_EQ(back.histograms.at("let.size.bytes").counts,
+            snap.histograms.at("let.size.bytes").counts);
+}
+
+TEST(Wire, JobFramesRejectTruncationAtEveryLength) {
+  wire::JobResultMsg res;
+  res.job_id = 1;
+  res.parts = make_plummer(8, 2);
+  wire::SnapshotMsg snap;
+  snap.sets = {make_plummer(8, 3), make_plummer(4, 4)};
+  wire::JobStatusMsg st;
+  st.reason = "because";
+  const std::vector<std::vector<std::uint8_t>> frames = {
+      wire::encode_job_submit(make_job_spec(/*with_parts=*/true)),
+      wire::encode_job_status(st),
+      wire::encode_job_result(res),
+      wire::encode_job_cancel(2),
+      wire::encode_snapshot(snap),
+      wire::encode_metrics_report(make_trace_frame().metrics),
+  };
+  for (const auto& frame : frames) {
+    for (std::size_t len = 0; len < frame.size(); ++len) {
+      const std::vector<std::uint8_t> cut(
+          frame.begin(), frame.begin() + static_cast<std::ptrdiff_t>(len));
+      switch (wire::FrameType{frame[6]}) {
+        case wire::FrameType::kJobSubmit:
+          EXPECT_THROW(wire::decode_job_submit(cut), wire::WireError) << len;
+          break;
+        case wire::FrameType::kJobStatus:
+          EXPECT_THROW(wire::decode_job_status(cut), wire::WireError) << len;
+          break;
+        case wire::FrameType::kJobResult:
+          EXPECT_THROW(wire::decode_job_result(cut), wire::WireError) << len;
+          break;
+        case wire::FrameType::kJobCancel:
+          EXPECT_THROW(wire::decode_job_cancel(cut), wire::WireError) << len;
+          break;
+        case wire::FrameType::kSnapshot:
+          EXPECT_THROW(wire::decode_snapshot(cut), wire::WireError) << len;
+          break;
+        default:
+          EXPECT_THROW(wire::decode_metrics_report(cut), wire::WireError) << len;
+          break;
+      }
+    }
+  }
+}
+
+TEST(Wire, JobFramesByteFlipsEitherDecodeOrThrow) {
+  // Exhaustive single-byte corruption over every v6 frame: decode must never
+  // crash, hang or read out of bounds — it throws WireError or yields a
+  // structurally valid value (enum fields stay in range, counts stay
+  // payload-bounded).
+  {
+    const std::vector<std::uint8_t> frame =
+        wire::encode_job_submit(make_job_spec(/*with_parts=*/true));
+    for (std::size_t i = 0; i < frame.size(); ++i) {
+      std::vector<std::uint8_t> bad = frame;
+      bad[i] ^= 0xA5;
+      try {
+        const wire::JobSpec spec = wire::decode_job_submit(bad);
+        EXPECT_GE(spec.steps, 0);
+        EXPECT_GE(spec.ranks, 0);
+        EXPECT_LE(spec.ranks, 255);
+        EXPECT_LE(static_cast<int>(spec.kernel),
+                  static_cast<int>(KernelBackend::kSimdFloat));
+        EXPECT_LE(spec.name.size(), bad.size());
+      } catch (const wire::WireError&) {
+      }
+    }
+  }
+  {
+    wire::JobStatusMsg st;
+    st.job_id = 3;
+    st.state = wire::JobState::kRunning;
+    st.reason = "spinning";
+    const std::vector<std::uint8_t> frame = wire::encode_job_status(st);
+    for (std::size_t i = 0; i < frame.size(); ++i) {
+      std::vector<std::uint8_t> bad = frame;
+      bad[i] ^= 0xA5;
+      try {
+        const wire::JobStatusMsg got = wire::decode_job_status(bad);
+        EXPECT_LE(static_cast<int>(got.state),
+                  static_cast<int>(wire::JobState::kRejected));
+      } catch (const wire::WireError&) {
+      }
+    }
+  }
+  {
+    wire::JobResultMsg res;
+    res.job_id = 1;
+    res.parts = make_plummer(16, 8);
+    const std::vector<std::uint8_t> frame = wire::encode_job_result(res);
+    for (std::size_t i = 0; i < frame.size(); ++i) {
+      std::vector<std::uint8_t> bad = frame;
+      bad[i] ^= 0xA5;
+      try {
+        const wire::JobResultMsg got = wire::decode_job_result(bad);
+        EXPECT_LE(static_cast<int>(got.state),
+                  static_cast<int>(wire::JobState::kRejected));
+      } catch (const wire::WireError&) {
+      }
+    }
+  }
+  {
+    wire::SnapshotMsg snap;
+    snap.job_id = 2;
+    snap.next_step = 3;
+    snap.sets = {make_plummer(12, 13), make_plummer(7, 14)};
+    const std::vector<std::uint8_t> frame = wire::encode_snapshot(snap);
+    for (std::size_t i = 0; i < frame.size(); ++i) {
+      std::vector<std::uint8_t> bad = frame;
+      bad[i] ^= 0xA5;
+      try {
+        const wire::SnapshotMsg got = wire::decode_snapshot(bad);
+        EXPECT_LE(got.sets.size(), 255u);
+      } catch (const wire::WireError&) {
+      }
+    }
+  }
+  {
+    const std::vector<std::uint8_t> frame =
+        wire::encode_metrics_report(make_trace_frame().metrics);
+    for (std::size_t i = 0; i < frame.size(); ++i) {
+      std::vector<std::uint8_t> bad = frame;
+      bad[i] ^= 0xA5;
+      try {
+        const metrics::Snapshot got = wire::decode_metrics_report(bad);
+        for (const auto& [name, h] : got.histograms)
+          EXPECT_EQ(h.counts.size(), h.bounds.size() + 1);
+      } catch (const wire::WireError&) {
+      }
+    }
+  }
+}
+
 TEST(InProcTransport, FifoPerDestinationAndClose) {
   domain::InProcTransport t(2);
   t.post(0, 1, {1, 2, 3});
