@@ -9,9 +9,12 @@
 
 namespace bonsai::domain {
 
-LetExchange::LetExchange(Transport& transport, const std::vector<std::uint8_t>& active)
-    : transport_(transport) {
+LetExchange::LetExchange(Transport& transport, const std::vector<std::uint8_t>& active,
+                         LetChannelState* state)
+    : transport_(transport), state_(state) {
   const std::size_t nranks = active.size();
+  BONSAI_CHECK(state == nullptr ||
+               state->nranks == static_cast<int>(nranks));
   const auto num_active = static_cast<std::size_t>(
       std::count_if(active.begin(), active.end(), [](std::uint8_t a) { return a != 0; }));
   remaining_.reserve(nranks);
@@ -19,6 +22,7 @@ LetExchange::LetExchange(Transport& transport, const std::vector<std::uint8_t>& 
     remaining_.push_back(active[r] && num_active > 0 ? num_active - 1 : 0);
   encode_.resize(nranks);
   decode_.resize(nranks);
+  delta_.resize(nranks);
 }
 
 std::size_t LetExchange::remaining(int dst) const {
@@ -30,8 +34,25 @@ std::size_t LetExchange::post(int src, int dst, const LetTree& let, double expor
   trace::ScopedSpan span("wire.encode.let", src, src);
   span.set_peer(dst);
   WallTimer timer;
-  std::vector<std::uint8_t> frame =
-      wire::encode_let({src, let, export_seconds, /*wire_bytes=*/0});
+  std::vector<std::uint8_t> frame;
+  if (state_ != nullptr && state_->enabled) {
+    wire::LetEncodeResult res = wire::encode_let_cached(
+        {src, let, export_seconds, /*wire_bytes=*/0}, state_->send_entry(src, dst),
+        state_->churn_ratio, &state_->scratch[static_cast<std::size_t>(src)]);
+    frame = std::move(res.frame);
+    wire::LetDeltaStats& ds = delta_[static_cast<std::size_t>(src)];
+    if (res.is_delta) {
+      ds.delta_frames += 1;
+      ds.bytes_saved += res.full_bytes - frame.size();
+    } else {
+      ds.full_frames += 1;
+    }
+  } else if (state_ != nullptr) {
+    frame = wire::encode_let_scratch({src, let, export_seconds, /*wire_bytes=*/0},
+                                     state_->scratch[static_cast<std::size_t>(src)]);
+  } else {
+    frame = wire::encode_let({src, let, export_seconds, /*wire_bytes=*/0});
+  }
   const std::size_t bytes = frame.size();
   span.set_bytes(static_cast<std::int64_t>(bytes));
   wire::WireStats& ws = encode_[static_cast<std::size_t>(src)];
@@ -54,7 +75,23 @@ std::optional<wire::LetMessage> LetExchange::recv(int dst) {
   trace::ScopedSpan span("wire.decode.let", dst, dst);
   span.set_bytes(static_cast<std::int64_t>(frame->size()));
   WallTimer timer;
-  wire::LetMessage msg = wire::decode_let(*frame);
+  wire::LetMessage msg;
+  if (state_ != nullptr && state_->enabled) {
+    const int src = wire::peek_let_src(*frame);
+    BONSAI_CHECK_MSG(src >= 0 && src < num_ranks() && src != dst,
+                     "LET frame from an invalid source rank");
+    wire::LetCacheEntry& entry = state_->recv_entry(dst, src);
+    const bool had_cache = entry.version != 0;
+    const bool is_delta = wire::frame_type(*frame) == wire::FrameType::kLetDelta;
+    msg = wire::decode_let_cached(*frame, entry);
+    wire::LetDeltaStats& ds = delta_[static_cast<std::size_t>(dst)];
+    if (is_delta)
+      ds.cache_hits += 1;
+    else if (had_cache)
+      ds.invalidations += 1;
+  } else {
+    msg = wire::decode_let(*frame);
+  }
   span.set_peer(msg.src);
   decode_[static_cast<std::size_t>(dst)].decode_seconds += timer.elapsed();
   --remaining;
@@ -69,6 +106,10 @@ const wire::WireStats& LetExchange::encode_stats(int r) const {
 
 const wire::WireStats& LetExchange::decode_stats(int r) const {
   return decode_[static_cast<std::size_t>(r)];
+}
+
+const wire::LetDeltaStats& LetExchange::delta_stats(int r) const {
+  return delta_[static_cast<std::size_t>(r)];
 }
 
 MigrationExchange::MigrationExchange(Transport& transport, int nranks)

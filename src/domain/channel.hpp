@@ -86,6 +86,43 @@ class Channel {
   bool closed_ = false;
 };
 
+// Persistent state of the incremental LET exchange (--let-cache), owned by
+// the driver — the Simulation in-proc, the worker loop in cluster mode — and
+// lent to each step's ephemeral LetExchange. Caches are per directed pair:
+// `send[src * nranks + dst]` is the exporter's mirror of what dst currently
+// holds of src's LET, `recv[dst * nranks + src]` the importer's actual copy
+// (a cluster worker only ever touches its own row of each). `scratch[src]`
+// is the per-source encode buffer whose capacity persists across steps, so
+// posting no longer grows a fresh vector every time. With `enabled` false
+// the scratch reuse still applies but every post ships a full frame and no
+// cache is consulted — the differential reference path.
+struct LetChannelState {
+  bool enabled = false;
+  double churn_ratio = 0.75;
+  int nranks = 0;
+  std::vector<wire::LetCacheEntry> send, recv;
+  std::vector<std::vector<std::uint8_t>> scratch;
+
+  void init(int n, bool on, double churn) {
+    enabled = on;
+    churn_ratio = churn;
+    nranks = n;
+    const std::size_t pairs = static_cast<std::size_t>(n) * static_cast<std::size_t>(n);
+    send.assign(pairs, {});
+    recv.assign(pairs, {});
+    scratch.assign(static_cast<std::size_t>(n), {});
+  }
+
+  wire::LetCacheEntry& send_entry(int src, int dst) {
+    return send[static_cast<std::size_t>(src) * static_cast<std::size_t>(nranks) +
+                static_cast<std::size_t>(dst)];
+  }
+  wire::LetCacheEntry& recv_entry(int dst, int src) {
+    return recv[static_cast<std::size_t>(dst) * static_cast<std::size_t>(nranks) +
+                static_cast<std::size_t>(src)];
+  }
+};
+
 // The all-to-all LET exchange of one step over a Transport: serialized LET
 // frames plus expected-arrival bookkeeping. Senders and receivers are both
 // known up front (the active = non-empty ranks), so recv() can stop a
@@ -95,7 +132,11 @@ class LetExchange {
   // `active[r]` marks ranks that both send and receive LETs this step; an
   // active destination expects one LET from every other active rank. The
   // transport must outlive the exchange and route ids [0, active.size()).
-  LetExchange(Transport& transport, const std::vector<std::uint8_t>& active);
+  // `state` (optional) carries the incremental-exchange caches and encode
+  // scratch across steps; it must outlive the exchange and match its rank
+  // count.
+  LetExchange(Transport& transport, const std::vector<std::uint8_t>& active,
+              LetChannelState* state = nullptr);
 
   int num_ranks() const { return static_cast<int>(remaining_.size()); }
 
@@ -126,11 +167,19 @@ class LetExchange {
   const wire::WireStats& encode_stats(int r) const;
   const wire::WireStats& decode_stats(int r) const;
 
+  // Incremental-exchange accounting: full/delta frames and bytes saved
+  // posted by r, plus deltas applied (cache_hits) and cache resets
+  // (invalidations) observed by r as an importer. All zero when the cache
+  // is off.
+  const wire::LetDeltaStats& delta_stats(int r) const;
+
  private:
   Transport& transport_;
+  LetChannelState* state_;               // nullptr: always-full legacy path
   std::vector<std::size_t> remaining_;  // per-dst, touched only by its consumer
   std::vector<wire::WireStats> encode_;  // per-src
   std::vector<wire::WireStats> decode_;  // per-dst
+  std::vector<wire::LetDeltaStats> delta_;  // exporter side per-src, importer per-dst
 };
 
 // The particle alltoallv of one SPMD step over a Transport — the LET mailbox

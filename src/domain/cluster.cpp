@@ -62,6 +62,7 @@ class FrameDemux {
   static Class classify(wire::FrameType type) {
     switch (type) {
       case wire::FrameType::kLet: return Class::kLet;
+      case wire::FrameType::kLetDelta: return Class::kLet;
       case wire::FrameType::kBoundaries: return Class::kBoundaries;
       case wire::FrameType::kKeySamples: return Class::kKeySamples;
       case wire::FrameType::kMigration: return Class::kMigration;
@@ -290,6 +291,7 @@ wire::StepResult ClusterSimulation::recv_step_result(TrafficRecordingTransport& 
   report.let_wire += sr.let_wire;
   report.part_wire += sr.part_wire;
   report.dom_wire += sr.dom_wire;
+  report.let_delta += sr.let_delta;
   report.let_sizes.insert(report.let_sizes.end(), sr.let_sizes.begin(),
                           sr.let_sizes.end());
   wire::merge_traffic(report.traffic, sr.traffic);
@@ -538,11 +540,11 @@ void broadcast(Transport& out, int self, int nranks, wire::WireStats& ws,
 void run_let_gravity_phase(Rank& rank, const SimConfig& cfg, const sfc::KeySpace& space,
                            FrameDemux& demux, Transport& out,
                            const std::vector<std::uint8_t>& active,
-                           const std::vector<AABB>& boxes, TimeBreakdown& times,
-                           wire::StepResult& sr) {
+                           const std::vector<AABB>& boxes, LetChannelState& let_state,
+                           TimeBreakdown& times, wire::StepResult& sr) {
   rank.build(space, cfg, times);
   DemuxTransport let_net_view(demux, out, FrameDemux::Class::kLet);
-  LetExchange let_net(let_net_view, active);
+  LetExchange let_net(let_net_view, active, &let_state);
   std::size_t next_peer = 1;
   RankStepStats out_stats =
       run_rank_step(rank, cfg, let_net, active, boxes, times, /*lane=*/nullptr, next_peer);
@@ -554,14 +556,15 @@ void run_let_gravity_phase(Rank& rank, const SimConfig& cfg, const sfc::KeySpace
   sr.let_sizes = std::move(out_stats.let_sizes);
   sr.let_wire = let_net.encode_stats(self);
   sr.let_wire.decode_seconds = let_net.decode_stats(self).decode_seconds;
+  sr.let_delta = let_net.delta_stats(self);
 }
 
 // The decentralized per-step domain update + migration + LET/gravity body of
 // one SPMD worker. Fills sr's statistics (times excepted: the caller owns
 // the breakdown) and leaves the stepped particles resident in `rank`.
 void run_spmd_step(Rank& rank, const SimConfig& cfg, int step, FrameDemux& demux,
-                   Transport& out, SpmdState& st, TimeBreakdown& times,
-                   wire::StepResult& sr) {
+                   Transport& out, SpmdState& st, LetChannelState& let_state,
+                   TimeBreakdown& times, wire::StepResult& sr) {
   const int nranks = cfg.nranks;
   const int self = rank.id();
   ParticleSet& parts = rank.parts();
@@ -729,7 +732,7 @@ void run_spmd_step(Rank& rank, const SimConfig& cfg, int step, FrameDemux& demux
 
   // --- Build + LET exchange + gravity + integration: the exact same step
   // body as the in-process lanes and the hub workers.
-  run_let_gravity_phase(rank, cfg, space, demux, out, active, boxes, times, sr);
+  run_let_gravity_phase(rank, cfg, space, demux, out, active, boxes, let_state, times, sr);
 
   st.prev_gravity_seconds =
       times.get("Gravity local") + times.get("Gravity remote");
@@ -766,6 +769,11 @@ int run_worker(const std::string& host, std::uint16_t port, int rank_id,
   if (cfg.trace) trace::Tracer::instance().set_enabled(true);
   Rank rank(rank_id, threads_for(cfg, std::thread::hardware_concurrency()));
   SpmdState st;
+  // Incremental-LET caches live here, beside the resident Rank: they persist
+  // across steps and die with the worker (a reconnect starts from version 0,
+  // so the first frames after it are full — the protocol is self-healing).
+  LetChannelState let_state;
+  let_state.init(cfg.nranks, cfg.let_cache, cfg.let_churn);
 
   // The previous step's StepResult encode time: it cannot ride in the frame
   // it measures (the timings are part of the payload), so it is reported one
@@ -810,7 +818,8 @@ int run_worker(const std::string& host, std::uint16_t port, int rank_id,
       BONSAI_CHECK(sb.active.size() == static_cast<std::size_t>(cfg.nranks));
       const sfc::KeySpace space(sb.bounds, cfg.curve);
       rank.parts() = std::move(sb.parts);
-      run_let_gravity_phase(rank, cfg, space, demux, out, sb.active, sb.boxes, times, sr);
+      run_let_gravity_phase(rank, cfg, space, demux, out, sb.active, sb.boxes, let_state,
+                            times, sr);
       // Energies and balance feedback stay coordinator-side in hub mode (it
       // owns the returned sets); only the population count rides along.
       sr.local_count = rank.parts().size();
@@ -818,7 +827,7 @@ int run_worker(const std::string& host, std::uint16_t port, int rank_id,
     } else {
       // SPMD: resident state, distributed domain update, peer migration.
       if (sb.mode == wire::StepMode::kSpmdBootstrap) rank.parts() = std::move(sb.parts);
-      run_spmd_step(rank, cfg, sb.step, demux, out, st, times, sr);
+      run_spmd_step(rank, cfg, sb.step, demux, out, st, let_state, times, sr);
       fill_energy(rank.parts(), sr);
       sr.local_count = rank.parts().size();
       // sr.parts stays empty: the particles never leave this worker.
@@ -857,6 +866,7 @@ int run_worker(const std::string& host, std::uint16_t port, int rank_id,
       wr.let_wire = sr.let_wire;
       wr.part_wire = sr.part_wire;
       wr.dom_wire = sr.dom_wire;
+      wr.let_delta = sr.let_delta;
       wr.let_sizes = sr.let_sizes;
       wr.traffic = sr.traffic;
       tf.metrics = build_step_metrics(wr);

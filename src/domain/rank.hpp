@@ -48,6 +48,10 @@ struct SimConfig {
   KernelBackend kernel = KernelBackend::kSimd;  // batched force backend
                                                 // (--kernel); shipped to
                                                 // workers in the Config frame
+  bool let_cache = false;   // incremental LET exchange (--let-cache); shipped
+                            // to workers in the Config frame
+  double let_churn = 0.75;  // churn threshold: ship a full Let when the delta
+                            // is not below this fraction of the full encoding
 
   TraversalConfig traversal() const {
     TraversalConfig t;

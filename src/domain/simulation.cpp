@@ -4,6 +4,7 @@
 #include <cmath>
 #include <map>
 #include <numeric>
+#include <optional>
 #include <ostream>
 #include <thread>
 
@@ -147,6 +148,7 @@ Simulation::Simulation(const SimConfig& cfg) : cfg_(cfg) {
   inproc_ = std::make_unique<InProcTransport>(cfg_.nranks);
   transport_ = std::make_unique<TrafficRecordingTransport>(*inproc_);
   decomp_ = Decomposition::uniform(cfg_.nranks);
+  let_state_.init(cfg_.nranks, cfg_.let_cache, cfg_.let_churn);
 }
 
 void Simulation::init(ParticleSet global) {
@@ -251,18 +253,40 @@ RankStepStats run_rank_step(Rank& rank, const SimConfig& cfg, LetExchange& net,
     out.local_stats = rank.gravity_local(cfg, times);
     if (lane) lane->local = times.get("Gravity local");
 
-    // Remote gravity per imported LET, in arrival order — no graft barrier;
-    // the walk accepts any self-contained TreeView.
+    // Remote gravity per imported LET, in deterministic peer order. Arrivals
+    // race (socket peers advance at their own pace), and floating-point
+    // accumulation is order-sensitive, so an out-of-order LET waits in
+    // `pending` and every walk happens in (r+1, r+2, ...) source order: the
+    // final forces are bitwise reproducible across runs, transports, and the
+    // --let-cache setting (the differential bar CI compares against). LETs
+    // arriving in order still overlap their walk with the remaining receives;
+    // no graft barrier — the walk accepts any self-contained TreeView.
+    std::vector<std::optional<wire::LetMessage>> pending(nranks);
+    std::size_t next_walk = 1;
+    const auto walk_ready = [&] {
+      for (; next_walk < nranks; ++next_walk) {
+        const std::size_t src = (r + next_walk) % nranks;
+        if (!active[src]) continue;
+        if (!pending[src]) break;
+        wire::LetMessage& m = *pending[src];
+        out.let_sizes.push_back({m.let.num_cells(), m.let.num_particles(), m.wire_bytes});
+        trace::ScopedSpan span("gravity.remote", rank.id(), rank.id());
+        span.set_peer(m.src);
+        span.set_bytes(static_cast<std::int64_t>(m.wire_bytes));
+        const double before = times.get("Gravity remote");
+        out.remote_stats += rank.gravity_remote(m.let.view(), cfg, times);
+        if (lane) lane->remotes.emplace_back(m.src, times.get("Gravity remote") - before);
+        pending[src].reset();
+      }
+    };
     while (std::optional<wire::LetMessage> msg = net.recv(static_cast<int>(r))) {
-      out.let_sizes.push_back(
-          {msg->let.num_cells(), msg->let.num_particles(), msg->wire_bytes});
-      trace::ScopedSpan span("gravity.remote", rank.id(), rank.id());
-      span.set_peer(msg->src);
-      span.set_bytes(static_cast<std::int64_t>(msg->wire_bytes));
-      const double before = times.get("Gravity remote");
-      out.remote_stats += rank.gravity_remote(msg->let.view(), cfg, times);
-      if (lane) lane->remotes.emplace_back(msg->src, times.get("Gravity remote") - before);
+      const auto src = static_cast<std::size_t>(msg->src);
+      BONSAI_CHECK_MSG(src < nranks && src != r && active[src] && !pending[src],
+                       "LET from an invalid, inactive or duplicate source rank");
+      pending[src] = std::move(*msg);
+      walk_ready();
     }
+    walk_ready();
   } else {
     rank.parts().zero_forces();
   }
@@ -367,7 +391,7 @@ void Simulation::step_async(StepReport& report, std::vector<TimeBreakdown>& rank
     if (active[r]) boxes[r] = ranks_[r]->parts().bounds();
   }
 
-  LetExchange net(*transport_, active);
+  LetExchange net(*transport_, active, &let_state_);
   if (!executor_) executor_ = std::make_unique<Executor>(nranks);
 
   std::vector<std::uint64_t> let_cells(nranks, 0), let_parts(nranks, 0);
@@ -452,6 +476,7 @@ void Simulation::step_async(StepReport& report, std::vector<TimeBreakdown>& rank
     report.remote_stats += remote_stats[r];
     report.let_wire += net.encode_stats(static_cast<int>(r));
     report.let_wire.decode_seconds += net.decode_stats(static_cast<int>(r)).decode_seconds;
+    report.let_delta += net.delta_stats(static_cast<int>(r));
     report.let_sizes.insert(report.let_sizes.end(), sizes[r].begin(), sizes[r].end());
   }
 }
@@ -466,7 +491,7 @@ void Simulation::step_lockstep(StepReport& report, std::vector<TimeBreakdown>& r
   // extraction is sender-side work, decoding + grafting receiver-side.
   std::vector<std::uint8_t> active(nranks, 0);
   for (std::size_t r = 0; r < nranks; ++r) active[r] = !ranks_[r]->parts().empty();
-  LetExchange net(*transport_, active);
+  LetExchange net(*transport_, active, &let_state_);
   for (std::size_t src = 0; src < nranks; ++src) {
     if (!active[src]) continue;
     for (std::size_t dst = 0; dst < nranks; ++dst) {
@@ -496,6 +521,7 @@ void Simulation::step_lockstep(StepReport& report, std::vector<TimeBreakdown>& r
     rank_times[r].add("Wire decode", net.decode_stats(static_cast<int>(r)).decode_seconds);
     report.let_wire += net.encode_stats(static_cast<int>(r));
     report.let_wire.decode_seconds += net.decode_stats(static_cast<int>(r)).decode_seconds;
+    report.let_delta += net.delta_stats(static_cast<int>(r));
   }
 
   for (std::size_t r = 0; r < nranks; ++r) {
@@ -640,6 +666,13 @@ void print_step_report(const StepReport& report, std::ostream& os) {
        << report.dom_wire.frames << " frame(s)";
   }
   os << "\n";
+  if (report.let_delta.full_frames + report.let_delta.delta_frames > 0) {
+    os << "let cache: " << report.let_delta.delta_frames << " delta + "
+       << report.let_delta.full_frames << " full frame(s), saved "
+       << human_bytes(static_cast<double>(report.let_delta.bytes_saved)) << ", "
+       << report.let_delta.cache_hits << " hit(s), " << report.let_delta.invalidations
+       << " invalidation(s)\n";
+  }
   print_traffic_by_type(report.traffic, os);
   print_traffic_by_type(report.routed, os, "routed via coordinator");
   print_let_histogram(report.let_sizes, os);
@@ -708,6 +741,16 @@ metrics::Snapshot build_step_metrics(const StepReport& r) {
   fold_wire_stats(m, "let", r.let_wire);
   fold_wire_stats(m, "part", r.part_wire);
   fold_wire_stats(m, "dom", r.dom_wire);
+  if (r.let_delta.full_frames + r.let_delta.delta_frames > 0) {
+    m.counters["let.delta.frames{kind=full}"] =
+        static_cast<double>(r.let_delta.full_frames);
+    m.counters["let.delta.frames{kind=delta}"] =
+        static_cast<double>(r.let_delta.delta_frames);
+    m.counters["let.delta.bytes_saved"] = static_cast<double>(r.let_delta.bytes_saved);
+    m.counters["let.delta.cache_hits"] = static_cast<double>(r.let_delta.cache_hits);
+    m.counters["let.delta.invalidations"] =
+        static_cast<double>(r.let_delta.invalidations);
+  }
   for (const wire::PeerTraffic& t : r.traffic) {
     m.counters[traffic_label("transport.post.frames", t)] = static_cast<double>(t.frames);
     m.counters[traffic_label("transport.post.bytes", t)] = static_cast<double>(t.bytes);
@@ -759,6 +802,7 @@ void write_step_report_json(const RunInfo& info, std::span<const StepReport> rep
      << "\", \"cluster\": \"" << info.cluster << "\", \"balance\": \"" << info.balance
      << "\", \"kernel\": \"" << info.kernel
      << "\", \"async\": " << (info.async ? "true" : "false")
+     << ", \"let_cache\": " << (info.let_cache ? "true" : "false")
      << ", \"wire_version\": " << info.wire_version << "},\n \"steps\": [";
   for (std::size_t i = 0; i < reports.size(); ++i) {
     const StepReport& r = reports[i];
@@ -794,7 +838,12 @@ void write_step_report_json(const RunInfo& info, std::span<const StepReport> rep
        << ", \"dom_bytes\": " << r.dom_wire.bytes
        << ", \"dom_frames\": " << r.dom_wire.frames
        << ", \"dom_encode_s\": " << r.dom_wire.encode_seconds
-       << ", \"dom_decode_s\": " << r.dom_wire.decode_seconds << "}";
+       << ", \"dom_decode_s\": " << r.dom_wire.decode_seconds
+       << ", \"let_full_frames\": " << r.let_delta.full_frames
+       << ", \"let_delta_frames\": " << r.let_delta.delta_frames
+       << ", \"let_delta_bytes_saved\": " << r.let_delta.bytes_saved
+       << ", \"let_cache_hits\": " << r.let_delta.cache_hits
+       << ", \"let_cache_invalidations\": " << r.let_delta.invalidations << "}";
     const auto write_matrix = [&os](const char* key,
                                     std::span<const wire::PeerTraffic> cells) {
       os << ",\n   \"" << key << "\": [";

@@ -67,6 +67,11 @@ struct StepReport {
   wire::WireStats let_wire, part_wire, dom_wire;
   std::vector<wire::LetSizeSample> let_sizes;
 
+  // Incremental LET exchange (--let-cache): full/delta frame counts, bytes a
+  // delta saved over the full frame it replaced, importer cache hits and
+  // resets, summed over ranks. All zero when the cache is off.
+  wire::LetDeltaStats let_delta;
+
   // Per-(src, dst, frame type) send-side traffic matrix for the step, sorted
   // by that key (kCoordinatorRank appears as -1). The measurable basis of
   // hub-vs-SPMD traffic comparisons in CI.
@@ -180,6 +185,10 @@ class Simulation {
   sfc::KeySpace space_;
   int next_step_ = 0;
 
+  // Incremental LET exchange: per-pair caches and encode scratch, persisting
+  // across the per-step LetExchange instances (--let-cache).
+  LetChannelState let_state_;
+
   // Feedback for BalanceMode::kCost: last step's per-rank gravity seconds
   // and populations (empty before the first step).
   std::vector<double> prev_gravity_seconds_;
@@ -254,6 +263,7 @@ struct RunInfo {
   std::string balance = "count";     // "count" | "cost"
   std::string kernel = "simd";       // "scalar" | "simd" | "simd-float"
   bool async = true;
+  bool let_cache = false;            // incremental LET exchange on?
   int wire_version = wire::kVersion;
 };
 

@@ -40,9 +40,12 @@ namespace bonsai::domain::wire {
 // batch counts, batch-size histogram) to the StepResult interaction stats.
 // Version 6 adds the job-server client protocol (JobSubmit / JobStatus /
 // JobResult / JobCancel / Snapshot) and the live metrics scrape
-// (MetricsQuery / MetricsReport).
+// (MetricsQuery / MetricsReport). Version 7 adds the incremental LET
+// exchange: the LetDelta frame (a versioned per-pair patch against the LET
+// the peer already holds), the let-cache/churn knobs in Config, and the
+// delta accounting counters in StepResult.
 inline constexpr std::uint32_t kMagic = 0x57534E42u;
-inline constexpr std::uint16_t kVersion = 6;
+inline constexpr std::uint16_t kVersion = 7;
 inline constexpr std::size_t kHeaderBytes = 16;
 
 enum class FrameType : std::uint16_t {
@@ -67,6 +70,7 @@ enum class FrameType : std::uint16_t {
   kSnapshot = 18,       // checkpoint/snapshot: per-rank populations + step
   kMetricsQuery = 19,   // client -> job server: scrape the metrics registry
   kMetricsReport = 20,  // job server -> client: the registry snapshot
+  kLetDelta = 21,       // incremental LET: patch against the peer's cached LET
 };
 
 // Human-readable frame type name for reports ("Let", "Migration", ...).
@@ -136,6 +140,82 @@ struct LetMessage {
 // --- LET frames --------------------------------------------------------------
 std::vector<std::uint8_t> encode_let(const LetMessage& msg);
 LetMessage decode_let(std::span<const std::uint8_t> frame);
+
+// --- Incremental LET frames (wire v7) ----------------------------------------
+// One (src, dst) pair's incremental-exchange state: the LET the peer
+// currently holds plus up to two older generations of its values, aligned
+// with `tree` — 17 doubles per node (box, mass, com, quad, rcrit) and 4 per
+// particle (x, y, z, m). The exporter and the importer evolve a mirrored
+// copy of this entry from the same shipped match indices, so predictions
+// are computed from bit-identical inputs on both sides. `*_age[i]` counts
+// the generations valid for element i (1 = only `tree`, 3 = all).
+struct LetCacheEntry {
+  std::uint64_t version = 0;  // 0: nothing synced (first contact or reset)
+  LetTree tree;
+  std::vector<double> node_hist1, node_hist2;  // [num_cells * 17]
+  std::vector<double> part_hist1, part_hist2;  // [num_particles * 4]
+  std::vector<std::uint8_t> node_age, part_age;
+
+  void reset() { *this = LetCacheEntry{}; }
+};
+
+// Per-rank accounting of the incremental exchange, carried through
+// StepResult and the step report. Exporter side: frames by kind and the
+// bytes a delta saved over the full encoding it replaced. Importer side:
+// deltas applied (cache_hits) and full frames that overwrote a valid cache
+// entry (invalidations — fallbacks after first contact).
+struct LetDeltaStats {
+  std::uint64_t full_frames = 0;
+  std::uint64_t delta_frames = 0;
+  std::uint64_t bytes_saved = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t invalidations = 0;
+
+  LetDeltaStats& operator+=(const LetDeltaStats& o) {
+    full_frames += o.full_frames;
+    delta_frames += o.delta_frames;
+    bytes_saved += o.bytes_saved;
+    cache_hits += o.cache_hits;
+    invalidations += o.invalidations;
+    return *this;
+  }
+};
+
+struct LetEncodeResult {
+  std::vector<std::uint8_t> frame;
+  bool is_delta = false;
+  std::uint64_t full_bytes = 0;  // what a full Let frame would have cost
+};
+
+// Exporter side of the incremental exchange: encode `msg.let` for a peer
+// whose mirrored state is `cache`. Ships a kLetDelta patch when it comes
+// out smaller than `churn_ratio` times the full encoding (topology churn
+// and migration churn inflate the patch past that bound, which is the
+// fallback trigger); ships a full kLet frame otherwise, and always on
+// first contact or for an empty tree. Updates `cache` to what the peer
+// will hold after decoding. `scratch` (optional) is an encode buffer
+// whose capacity is reused across calls.
+LetEncodeResult encode_let_cached(const LetMessage& msg, LetCacheEntry& cache,
+                                  double churn_ratio,
+                                  std::vector<std::uint8_t>* scratch = nullptr);
+
+// Importer side: decode a kLet or kLetDelta frame against `cache`. A full
+// frame unconditionally resets the pair's state (version restarts at 1); a
+// delta requires its base version to equal `cache.version` exactly and is
+// patched and re-validated against the full traversal-safety invariants
+// before the tree is returned. On any WireError the cache is left exactly
+// as it was (patches commit only after validation).
+LetMessage decode_let_cached(std::span<const std::uint8_t> frame, LetCacheEntry& cache);
+
+// Like encode_let, but builds the frame in `scratch` (capacity retained
+// across calls) and returns an exact-size copy for posting.
+std::vector<std::uint8_t> encode_let_scratch(const LetMessage& msg,
+                                             std::vector<std::uint8_t>& scratch);
+
+// The source rank of a kLet/kLetDelta frame without decoding it (both
+// layouts lead with the source id) — the importer routes the frame to the
+// right per-pair cache before the full decode.
+int peek_let_src(std::span<const std::uint8_t> frame);
 
 // --- Particle-migration batches ----------------------------------------------
 // A batch owns full particle state; forces/potential ride along only when
@@ -272,6 +352,7 @@ struct StepResult {
   TimeBreakdown times;
   std::vector<LetSizeSample> let_sizes;
   WireStats let_wire, part_wire, dom_wire;
+  LetDeltaStats let_delta;  // incremental-exchange counters (zero when off)
   std::vector<sfc::Key> boundaries;  // SPMD: computed decomposition bounds
   std::vector<PeerTraffic> traffic;  // frames this worker posted, per peer/type
   ParticleSet parts;

@@ -51,6 +51,15 @@ void register_flags(bonsai::CommandLine& cli) {
   cli.add_option("kernel", "B",
                  "scalar | simd | simd-float: force backend draining the "
                  "batched interaction lists (default simd)");
+  cli.add_option("let-cache", "M",
+                 "off | on: incremental LET exchange — per-pair caches and "
+                 "delta frames instead of full LETs every step (default off)");
+  cli.add_option("let-churn", "R",
+                 "let-cache: ship a full LET when the delta frame is not "
+                 "below R x the full encoding (default 0.75)");
+  cli.add_option("drift", "V",
+                 "add a uniform bulk velocity of magnitude V to the initial "
+                 "conditions (a drifting cloud; default 0)");
   cli.add_option("bench", "FILE", "write per-step reports as JSON to FILE");
   cli.add_option("trace", "FILE",
                  "record spans and write a merged Chrome trace-event JSON "
@@ -459,6 +468,14 @@ int main(int argc, char** argv) {
       throw bonsai::CliError("--kernel: expected scalar, simd or simd-float, got '" +
                              kernel_name + "'");
     cfg.kernel = *kernel;
+    const std::string let_cache_str = cli.get("let-cache", "off");
+    if (let_cache_str != "off" && let_cache_str != "on")
+      throw bonsai::CliError("--let-cache: expected off or on, got '" + let_cache_str +
+                             "'");
+    cfg.let_cache = let_cache_str == "on";
+    cfg.let_churn = cli.get_double("let-churn", 0.75);
+    if (!(cfg.let_churn > 0.0 && cfg.let_churn <= 1.0))
+      throw bonsai::CliError("--let-churn: expected a ratio in (0, 1]");
     const std::string bench_path = cli.get("bench", "");
     const std::string trace_path = cli.get("trace", "");
     cfg.trace = !trace_path.empty();
@@ -468,10 +485,10 @@ int main(int argc, char** argv) {
 
     const std::string snapshot_in = cli.get("snapshot-in", "");
     const std::string snapshot_out = cli.get("snapshot-out", "");
-    if (!snapshot_out.empty() && (socket_mode || validate))
+    if (!snapshot_out.empty() && validate)
       throw bonsai::CliError(
-          "--snapshot-out applies to plain in-process runs (it checkpoints "
-          "the Simulation's per-rank state after the last step)");
+          "--snapshot-out applies to plain runs (it writes the final particle "
+          "state after the last step, not the validation comparison)");
 
     bonsai::ParticleSet initial;
     if (!snapshot_in.empty()) {
@@ -480,6 +497,18 @@ int main(int argc, char** argv) {
       std::cout << "snapshot: read " << n << " particle(s) from " << snapshot_in << "\n";
     } else {
       initial = bonsai::make_plummer(n, seed);
+    }
+    const double drift = cli.get_double("drift", 0.0);
+    if (drift != 0.0) {
+      // A bulk velocity keeps the cloud coherent while its bounding boxes and
+      // tree geometry translate every step — the steady churn the incremental
+      // LET cache is built for (and its linear motion is exactly what the
+      // delta codec's polynomial predictor extrapolates).
+      for (std::size_t i = 0; i < initial.size(); ++i) {
+        initial.vx[i] += drift;
+        initial.vy[i] += 0.5 * drift;
+        initial.vz[i] += 0.25 * drift;
+      }
     }
 
     bonsai::domain::RunInfo info;
@@ -492,6 +521,7 @@ int main(int argc, char** argv) {
     info.balance = cfg.balance == bonsai::domain::BalanceMode::kCost ? "cost" : "count";
     info.kernel = bonsai::kernel_backend_name(cfg.kernel);
     info.async = cfg.async;
+    info.let_cache = cfg.let_cache;
 
     std::cout << "bonsai_sim: n=" << n << " ranks=" << cfg.nranks << " theta=" << cfg.theta
               << " eps=" << cfg.eps << " dt=" << cfg.dt << " steps=" << steps
@@ -499,7 +529,7 @@ int main(int argc, char** argv) {
               << " kernel=" << bonsai::kernel_backend_name(cfg.kernel)
               << (cfg.async ? " schedule=async" : " schedule=lockstep")
               << (cfg.balance == bonsai::domain::BalanceMode::kCost ? " balance=cost" : "")
-              << "\n";
+              << (cfg.let_cache ? " let-cache=on" : "") << "\n";
 
     if (socket_mode) {
       if (!cfg.async)
@@ -529,8 +559,22 @@ int main(int argc, char** argv) {
                 << " topology) coordinator on 127.0.0.1:" << sim.port() << " driving "
                 << cfg.nranks << (ccfg.spawn_workers ? " spawned" : " external")
                 << " worker process(es)\n";
-      return validate ? run_validation(sim, ccfg.sim, initial, info, bench_path, trace_path)
-                      : run_steps(sim, initial, steps, info, bench_path, trace_path);
+      if (validate)
+        return run_validation(sim, ccfg.sim, initial, info, bench_path, trace_path);
+      const int rc = run_steps(sim, initial, steps, info, bench_path, trace_path);
+      if (rc == 0 && !snapshot_out.empty()) {
+        // Cluster snapshot: gather() collects the final state (forces
+        // included) into one id-sorted set, so two runs that agree bitwise on
+        // the physics write byte-identical files — `cmp`-able by CI.
+        bonsai::domain::wire::SnapshotMsg snap;
+        snap.job_id = -1;
+        snap.next_step = steps;
+        snap.sets.push_back(sim.gather());
+        bonsai::serve::write_snapshot_file(snapshot_out, snap);
+        std::cout << "snapshot: wrote " << snap.sets[0].size() << " particle(s) to "
+                  << snapshot_out << "\n";
+      }
+      return rc;
     }
 
     // In-process ranks share this process's tracer (the cluster coordinator
