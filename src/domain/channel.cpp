@@ -13,7 +13,7 @@ LetExchange::LetExchange(Transport& transport, const std::vector<std::uint8_t>& 
                          LetChannelState* state)
     : transport_(transport), state_(state) {
   const std::size_t nranks = active.size();
-  BONSAI_CHECK(state == nullptr ||
+  BNS_CHECK(state == nullptr ||
                state->nranks == static_cast<int>(nranks));
   const auto num_active = static_cast<std::size_t>(
       std::count_if(active.begin(), active.end(), [](std::uint8_t a) { return a != 0; }));
@@ -30,7 +30,7 @@ std::size_t LetExchange::remaining(int dst) const {
 }
 
 std::size_t LetExchange::post(int src, int dst, const LetTree& let, double export_seconds) {
-  BONSAI_CHECK(src != dst);
+  BNS_CHECK(src != dst);
   trace::ScopedSpan span("wire.encode.let", src, src);
   span.set_peer(dst);
   WallTimer timer;
@@ -71,14 +71,14 @@ std::optional<wire::LetMessage> LetExchange::recv(int dst) {
     trace::ScopedSpan wait("let.recv.wait", dst, dst);
     frame = transport_.recv(dst);
   }
-  BONSAI_CHECK_MSG(frame.has_value(), "LET endpoint closed before all expected arrivals");
+  BNS_CHECK(frame.has_value(), "LET endpoint closed before all expected arrivals");
   trace::ScopedSpan span("wire.decode.let", dst, dst);
   span.set_bytes(static_cast<std::int64_t>(frame->size()));
   WallTimer timer;
   wire::LetMessage msg;
   if (state_ != nullptr && state_->enabled) {
     const int src = wire::peek_let_src(*frame);
-    BONSAI_CHECK_MSG(src >= 0 && src < num_ranks() && src != dst,
+    BNS_CHECK(src >= 0 && src < num_ranks() && src != dst,
                      "LET frame from an invalid source rank");
     wire::LetCacheEntry& entry = state_->recv_entry(dst, src);
     const bool had_cache = entry.version != 0;
@@ -114,7 +114,7 @@ const wire::LetDeltaStats& LetExchange::delta_stats(int r) const {
 
 MigrationExchange::MigrationExchange(Transport& transport, int nranks)
     : transport_(transport) {
-  BONSAI_CHECK(nranks >= 1);
+  BNS_CHECK(nranks >= 1);
   remaining_.assign(static_cast<std::size_t>(nranks),
                     static_cast<std::size_t>(nranks - 1));
   encode_.resize(static_cast<std::size_t>(nranks));
@@ -126,7 +126,7 @@ std::size_t MigrationExchange::remaining(int dst) const {
 }
 
 std::size_t MigrationExchange::post(int src, int dst, const ParticleSet& parts, int step) {
-  BONSAI_CHECK(src != dst);
+  BNS_CHECK(src != dst);
   trace::ScopedSpan span("wire.encode.migration", src, src, step);
   span.set_peer(dst);
   WallTimer timer;
@@ -149,7 +149,7 @@ std::optional<wire::MigrationMsg> MigrationExchange::recv(int dst, int step) {
     trace::ScopedSpan wait("migration.recv.wait", dst, dst, step);
     frame = transport_.recv(dst);
   }
-  BONSAI_CHECK_MSG(frame.has_value(),
+  BNS_CHECK(frame.has_value(),
                    "migration endpoint closed before all expected batches");
   trace::ScopedSpan span("wire.decode.migration", dst, dst, step);
   span.set_bytes(static_cast<std::int64_t>(frame->size()));
@@ -157,7 +157,7 @@ std::optional<wire::MigrationMsg> MigrationExchange::recv(int dst, int step) {
   wire::MigrationMsg msg = wire::decode_migration(*frame);
   span.set_peer(msg.src);
   decode_[static_cast<std::size_t>(dst)].decode_seconds += timer.elapsed();
-  BONSAI_CHECK_MSG(msg.step == step, "migration batch from a different step");
+  BNS_CHECK(msg.step == step, "migration batch from a different step");
   --remaining;
   return msg;
 }

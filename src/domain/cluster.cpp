@@ -118,8 +118,8 @@ void fill_energy(const ParticleSet& parts, wire::StepResult& sr) {
 }  // namespace
 
 ClusterSimulation::ClusterSimulation(const ClusterConfig& cfg) : cfg_(cfg) {
-  BONSAI_CHECK(cfg_.sim.nranks >= 1);
-  BONSAI_CHECK_MSG(cfg_.sim.nranks <= 255, "LET forests fan out to at most 255 ranks");
+  BNS_CHECK(cfg_.sim.nranks >= 1);
+  BNS_CHECK(cfg_.sim.nranks <= 255, "LET forests fan out to at most 255 ranks");
   sets_.resize(static_cast<std::size_t>(cfg_.sim.nranks));
   decomp_ = Decomposition::uniform(cfg_.sim.nranks);
   migrate_net_ = std::make_unique<InProcTransport>(cfg_.sim.nranks);
@@ -161,7 +161,7 @@ ClusterSimulation::ClusterSimulation(const ClusterConfig& cfg) : cfg_(cfg) {
 }
 
 void ClusterSimulation::spawn_workers() {
-  BONSAI_CHECK_MSG(!cfg_.program.empty(), "worker spawning needs the binary path");
+  BNS_CHECK(!cfg_.program.empty(), "worker spawning needs the binary path");
   // Workers on this host partition it like in-process rank pipelines do.
   SimConfig tcfg = cfg_.sim;
   tcfg.threads_per_rank = cfg_.worker_threads;
@@ -254,7 +254,7 @@ wire::StepResult ClusterSimulation::recv_step_result(TrafficRecordingTransport& 
       trace::ScopedSpan wait("cluster.recv.result", kCoordinatorRank);
       frame = net_->recv(kCoordinatorRank);
     }
-    BONSAI_CHECK_MSG(frame.has_value(), "a worker disconnected before its step result (" +
+    BNS_CHECK(frame.has_value(), "a worker disconnected before its step result (" +
                                             net_->close_reason() + ")");
     if (wire::frame_type(*frame) != wire::FrameType::kTrace) break;
     // A worker's observability sidecar, sent just ahead of its StepResult:
@@ -262,7 +262,7 @@ wire::StepResult ClusterSimulation::recv_step_result(TrafficRecordingTransport& 
     // and merge its spans onto the coordinator's clock.
     const std::int64_t arrive_ns = now_ns();
     wire::TraceFrame tf = wire::decode_trace(*frame);
-    BONSAI_CHECK_MSG(tf.src >= 0 && tf.src < static_cast<int>(post_ns.size()),
+    BNS_CHECK(tf.src >= 0 && tf.src < static_cast<int>(post_ns.size()),
                      "trace frame from an impossible rank");
     trace::ClockSync sync;
     sync.coord_post_ns = post_ns[static_cast<std::size_t>(tf.src)];
@@ -278,7 +278,7 @@ wire::StepResult ClusterSimulation::recv_step_result(TrafficRecordingTransport& 
   report.part_wire.decode_seconds += timer.elapsed();
   report.part_wire.frames += 1;
   report.part_wire.bytes += frame->size();
-  BONSAI_CHECK_MSG(sr.rank >= 0 && sr.rank < static_cast<int>(seen.size()) &&
+  BNS_CHECK(sr.rank >= 0 && sr.rank < static_cast<int>(seen.size()) &&
                        !seen[static_cast<std::size_t>(sr.rank)],
                    "duplicate or out-of-range step result");
   seen[static_cast<std::size_t>(sr.rank)] = 1;
@@ -430,11 +430,11 @@ StepReport ClusterSimulation::step_spmd() {
     // Decentralized decomposition cross-check: every worker must have cut
     // the identical partition, or the LET/migration protocols are exchanging
     // against different domains — fail fast, never average.
-    BONSAI_CHECK_MSG(!sr.boundaries.empty(), "SPMD step result without boundaries");
+    BNS_CHECK(!sr.boundaries.empty(), "SPMD step result without boundaries");
     if (agreed_bounds.empty()) {
       agreed_bounds = std::move(sr.boundaries);
     } else {
-      BONSAI_CHECK_MSG(agreed_bounds == sr.boundaries,
+      BNS_CHECK(agreed_bounds == sr.boundaries,
                        "workers computed diverging decompositions");
     }
   }
@@ -477,13 +477,13 @@ ParticleSet ClusterSimulation::gather() const {
     std::vector<std::uint8_t> seen(nranks, 0);
     for (std::size_t i = 0; i < nranks; ++i) {
       std::optional<std::vector<std::uint8_t>> reply = net_->recv(kCoordinatorRank);
-      BONSAI_CHECK_MSG(reply.has_value(), "a worker disconnected during gather (" +
+      BNS_CHECK(reply.has_value(), "a worker disconnected during gather (" +
                                               net_->close_reason() + ")");
       wire::ParticleBatch batch = wire::decode_particles(*reply);
-      BONSAI_CHECK_MSG(batch.src >= 0 && batch.src < static_cast<int>(nranks) &&
+      BNS_CHECK(batch.src >= 0 && batch.src < static_cast<int>(nranks) &&
                            !seen[static_cast<std::size_t>(batch.src)],
                        "duplicate or out-of-range gather reply");
-      BONSAI_CHECK_MSG(batch.with_forces, "gather replies must carry forces");
+      BNS_CHECK(batch.with_forces, "gather replies must carry forces");
       seen[static_cast<std::size_t>(batch.src)] = 1;
       collected[static_cast<std::size_t>(batch.src)] = std::move(batch.parts);
     }
@@ -622,9 +622,9 @@ void run_spmd_step(Rank& rank, const SimConfig& cfg, int step, FrameDemux& demux
     WallTimer timer;
     const wire::Boundaries b = wire::decode_boundaries(*frame);
     dom_ws.decode_seconds += timer.elapsed();
-    BONSAI_CHECK_MSG(b.src >= 0 && b.src < nranks && !seen[static_cast<std::size_t>(b.src)],
+    BNS_CHECK(b.src >= 0 && b.src < nranks && !seen[static_cast<std::size_t>(b.src)],
                      "boundaries from an impossible or duplicate rank");
-    BONSAI_CHECK_MSG(b.step == step && !b.post_migration,
+    BNS_CHECK(b.step == step && !b.post_migration,
                      "boundaries from the wrong step or phase");
     seen[static_cast<std::size_t>(b.src)] = 1;
     counts[static_cast<std::size_t>(b.src)] = b.count;
@@ -657,10 +657,10 @@ void run_spmd_step(Rank& rank, const SimConfig& cfg, int step, FrameDemux& demux
     WallTimer timer;
     wire::KeySamples ks = wire::decode_key_samples(*frame);
     dom_ws.decode_seconds += timer.elapsed();
-    BONSAI_CHECK_MSG(
+    BNS_CHECK(
         ks.src >= 0 && ks.src < nranks && !seen[static_cast<std::size_t>(ks.src)],
         "key samples from an impossible or duplicate rank");
-    BONSAI_CHECK_MSG(ks.step == step, "key samples from the wrong step");
+    BNS_CHECK(ks.step == step, "key samples from the wrong step");
     seen[static_cast<std::size_t>(ks.src)] = 1;
     samples[static_cast<std::size_t>(ks.src)] = std::move(ks.keys);
   }
@@ -712,9 +712,9 @@ void run_spmd_step(Rank& rank, const SimConfig& cfg, int step, FrameDemux& demux
     WallTimer timer;
     const wire::Boundaries b = wire::decode_boundaries(*frame);
     dom_ws.decode_seconds += timer.elapsed();
-    BONSAI_CHECK_MSG(b.src >= 0 && b.src < nranks && !seen[static_cast<std::size_t>(b.src)],
+    BNS_CHECK(b.src >= 0 && b.src < nranks && !seen[static_cast<std::size_t>(b.src)],
                      "post boxes from an impossible or duplicate rank");
-    BONSAI_CHECK_MSG(b.step == step && b.post_migration,
+    BNS_CHECK(b.step == step && b.post_migration,
                      "post boxes from the wrong step or phase");
     seen[static_cast<std::size_t>(b.src)] = 1;
     active[static_cast<std::size_t>(b.src)] = b.count > 0;
@@ -762,7 +762,7 @@ int run_worker(const std::string& host, std::uint16_t port, int rank_id,
   std::optional<std::vector<std::uint8_t>> frame = demux.recv(FrameDemux::Class::kControl);
   if (!frame) throw coordinator_down("coordinator closed before config");
   SimConfig cfg = wire::decode_config(*frame);
-  BONSAI_CHECK_MSG(rank_id >= 0 && rank_id < cfg.nranks,
+  BNS_CHECK(rank_id >= 0 && rank_id < cfg.nranks,
                    "worker rank id outside the configured rank count");
   cfg.threads_per_rank = threads;
   cfg.async = true;
@@ -815,7 +815,7 @@ int run_worker(const std::string& host, std::uint16_t port, int rank_id,
     if (sb.mode == wire::StepMode::kHub) {
       // Hub: the coordinator computed the domain update; this worker runs
       // the per-rank pipeline on the shipped batch and returns it.
-      BONSAI_CHECK(sb.active.size() == static_cast<std::size_t>(cfg.nranks));
+      BNS_CHECK(sb.active.size() == static_cast<std::size_t>(cfg.nranks));
       const sfc::KeySpace space(sb.bounds, cfg.curve);
       rank.parts() = std::move(sb.parts);
       run_let_gravity_phase(rank, cfg, space, demux, out, sb.active, sb.boxes, let_state,

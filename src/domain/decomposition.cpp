@@ -10,7 +10,7 @@
 namespace bonsai::domain {
 
 Decomposition Decomposition::uniform(int nranks) {
-  BONSAI_CHECK(nranks >= 1);
+  BNS_CHECK(nranks >= 1);
   std::vector<sfc::Key> bounds;
   bounds.reserve(static_cast<std::size_t>(nranks) + 1);
   const sfc::Key span = sfc::kKeyEnd / static_cast<sfc::Key>(nranks);
@@ -20,9 +20,9 @@ Decomposition Decomposition::uniform(int nranks) {
 }
 
 Decomposition Decomposition::from_boundaries(std::vector<sfc::Key> bounds) {
-  BONSAI_CHECK(bounds.size() >= 2);
-  BONSAI_CHECK(bounds.front() == 0 && bounds.back() == sfc::kKeyEnd);
-  BONSAI_CHECK_MSG(std::is_sorted(bounds.begin(), bounds.end()),
+  BNS_CHECK(bounds.size() >= 2);
+  BNS_CHECK(bounds.front() == 0 && bounds.back() == sfc::kKeyEnd);
+  BNS_CHECK(std::is_sorted(bounds.begin(), bounds.end()),
                    "domain boundaries must be monotone");
   Decomposition d;
   d.bounds_ = std::move(bounds);
@@ -31,8 +31,8 @@ Decomposition Decomposition::from_boundaries(std::vector<sfc::Key> bounds) {
 
 Decomposition Decomposition::from_samples(std::vector<sfc::Key> samples, int nranks,
                                           int snap_level) {
-  BONSAI_CHECK(nranks >= 1);
-  BONSAI_CHECK(snap_level >= 0 && snap_level <= sfc::kMaxLevel);
+  BNS_CHECK(nranks >= 1);
+  BNS_CHECK(snap_level >= 0 && snap_level <= sfc::kMaxLevel);
   if (samples.empty() || nranks == 1) return uniform(nranks);
 
   std::sort(samples.begin(), samples.end());
@@ -55,8 +55,8 @@ Decomposition Decomposition::from_samples(std::vector<sfc::Key> samples, int nra
 
 Decomposition Decomposition::from_weighted_samples(std::vector<WeightedKey> samples,
                                                    int nranks, int snap_level) {
-  BONSAI_CHECK(nranks >= 1);
-  BONSAI_CHECK(snap_level >= 0 && snap_level <= sfc::kMaxLevel);
+  BNS_CHECK(nranks >= 1);
+  BNS_CHECK(snap_level >= 0 && snap_level <= sfc::kMaxLevel);
   double total = 0.0;
   for (const WeightedKey& s : samples) total += std::max(s.weight, 0.0);
   if (samples.empty() || nranks == 1 || !(total > 0.0)) {
@@ -88,8 +88,18 @@ Decomposition Decomposition::from_weighted_samples(std::vector<WeightedKey> samp
   return from_boundaries(std::move(bounds));
 }
 
+void Decomposition::check_invariants(int expected_ranks) const {
+  BNS_CHECK(bounds_.size() >= 2);
+  BNS_CHECK(expected_ranks < 0 || num_ranks() == expected_ranks,
+            "partition has ", num_ranks(), " ranks, expected ", expected_ranks);
+  BNS_CHECK(bounds_.front() == 0 && bounds_.back() == sfc::kKeyEnd,
+            "partition must cover the whole key space");
+  BNS_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()),
+            "domain boundaries must be monotone");
+}
+
 int Decomposition::rank_of(sfc::Key key) const {
-  BONSAI_ASSERT(key < sfc::kKeyEnd);
+  BNS_DCHECK(key < sfc::kKeyEnd);
   // Count interior boundaries <= key; bounds_ = {0, b_1, ..., b_{n-1}, end}.
   const auto first = bounds_.begin() + 1;
   const auto last = bounds_.end() - 1;
@@ -98,7 +108,7 @@ int Decomposition::rank_of(sfc::Key key) const {
 
 std::vector<sfc::Key> sample_keys(const ParticleSet& parts, const sfc::KeySpace& space,
                                   std::size_t stride) {
-  BONSAI_CHECK(stride >= 1);
+  BNS_CHECK(stride >= 1);
   std::vector<sfc::Key> samples;
   const std::size_t n = parts.size();
   if (n == 0) return samples;
@@ -121,8 +131,8 @@ void apply_cost_floor(std::span<double> weights) {
 DomainUpdate update_domain(std::span<const ParticleSet* const> rank_parts, int nranks,
                            sfc::CurveType curve, std::size_t samples_per_rank,
                            int snap_level, std::span<const double> weights) {
-  BONSAI_CHECK(static_cast<int>(rank_parts.size()) == nranks);
-  BONSAI_CHECK(weights.empty() || weights.size() == rank_parts.size());
+  BNS_CHECK(static_cast<int>(rank_parts.size()) == nranks);
+  BNS_CHECK(weights.empty() || weights.size() == rank_parts.size());
 
   DomainUpdate out;
   std::size_t total = 0;
@@ -145,6 +155,7 @@ DomainUpdate update_domain(std::span<const ParticleSet* const> rank_parts, int n
     for (const sfc::Key k : s) samples.push_back({k, w});
   }
   out.decomp = Decomposition::from_weighted_samples(std::move(samples), nranks, snap_level);
+  if constexpr (kDcheckEnabled) out.decomp.check_invariants(nranks);
   return out;
 }
 
@@ -163,7 +174,7 @@ void append_particles(ParticleSet& to, const ParticleSet& from) {
 ExchangeStats exchange(std::vector<ParticleSet>& rank_parts, const sfc::KeySpace& space,
                        const Decomposition& decomp, Transport& transport,
                        wire::WireStats* wire_stats) {
-  BONSAI_CHECK(static_cast<int>(rank_parts.size()) == decomp.num_ranks());
+  BNS_CHECK(static_cast<int>(rank_parts.size()) == decomp.num_ranks());
   const auto nranks = static_cast<std::size_t>(decomp.num_ranks());
   wire::WireStats ws;
 
@@ -217,15 +228,15 @@ ExchangeStats exchange(std::vector<ParticleSet>& rank_parts, const sfc::KeySpace
     std::vector<ParticleSet> arrived(nranks);
     for (std::size_t k = 0; k + 1 < nranks; ++k) {
       std::optional<std::vector<std::uint8_t>> frame = transport.recv(static_cast<int>(d));
-      BONSAI_CHECK_MSG(frame.has_value(),
+      BNS_CHECK(frame.has_value(),
                        "particle endpoint closed before all expected batches");
       WallTimer timer;
       wire::ParticleBatch batch = wire::decode_particles(*frame);
       ws.decode_seconds += timer.elapsed();
-      BONSAI_CHECK_MSG(batch.src >= 0 && batch.src < static_cast<int>(nranks) &&
+      BNS_CHECK(batch.src >= 0 && batch.src < static_cast<int>(nranks) &&
                            batch.src != static_cast<int>(d),
                        "particle batch from an impossible source rank");
-      BONSAI_CHECK_MSG(!batch.with_forces, "migration batches must travel force-free");
+      BNS_CHECK(!batch.with_forces, "migration batches must travel force-free");
       arrived[static_cast<std::size_t>(batch.src)] = std::move(batch.parts);
     }
     incoming[d].reserve(counts[d]);
@@ -259,7 +270,7 @@ ExchangeStats exchange_resident(ParticleSet& mine, int self, const sfc::KeySpace
                                 int step) {
   const auto nranks = static_cast<std::size_t>(decomp.num_ranks());
   const auto r = static_cast<std::size_t>(self);
-  BONSAI_CHECK(r < nranks);
+  BNS_CHECK(r < nranks);
 
   // Key + owner per local particle, exactly as the centralized pre-pass does.
   ExchangeStats stats;
@@ -290,7 +301,7 @@ ExchangeStats exchange_resident(ParticleSet& mine, int self, const sfc::KeySpace
   std::vector<ParticleSet> arrived(nranks);
   std::vector<std::uint8_t> seen(nranks, 0);
   while (std::optional<wire::MigrationMsg> msg = mex.recv(self, step)) {
-    BONSAI_CHECK_MSG(msg->src >= 0 && msg->src < static_cast<int>(nranks) &&
+    BNS_CHECK(msg->src >= 0 && msg->src < static_cast<int>(nranks) &&
                          msg->src != self && !seen[static_cast<std::size_t>(msg->src)],
                      "migration batch from an impossible or duplicate source rank");
     seen[static_cast<std::size_t>(msg->src)] = 1;

@@ -74,6 +74,12 @@ class Decomposition {
 
   std::span<const sfc::Key> boundaries() const { return bounds_; }
 
+  // Re-verify the partition: a full monotone boundary vector anchored at 0
+  // and kKeyEnd, one interval per rank (pass -1 to skip the rank-count
+  // check). Throws CheckError on violation; update_domain() runs this in
+  // Debug and sanitizer builds.
+  void check_invariants(int expected_ranks = -1) const;
+
  private:
   std::vector<sfc::Key> bounds_{0, sfc::kKeyEnd};
 };

@@ -5,14 +5,14 @@
 namespace bonsai::domain {
 
 Executor::Executor(std::size_t num_lanes) {
-  BONSAI_CHECK(num_lanes >= 1);
+  BNS_CHECK(num_lanes >= 1);
   lanes_.reserve(num_lanes);
   for (std::size_t i = 0; i < num_lanes; ++i)
     lanes_.push_back(std::make_unique<ThreadPool>(1));
 }
 
 std::future<void> Executor::run(std::size_t lane, std::function<void()> job) {
-  BONSAI_CHECK(lane < lanes_.size());
+  BNS_CHECK(lane < lanes_.size());
   return lanes_[lane]->submit_task(std::move(job));
 }
 

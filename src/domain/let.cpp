@@ -17,7 +17,7 @@ inline bool remote_accepts(const AABB& remote_box, const TreeNode& node) {
 LetTree build_let(const TreeView& local, const AABB& remote_box) {
   LetTree let;
   if (local.empty()) return let;
-  BONSAI_CHECK(remote_box.valid());
+  BNS_CHECK(remote_box.valid());
 
   struct Item {
     std::int32_t src;  // node index in the local tree
@@ -63,7 +63,7 @@ LetTree build_let(const TreeView& local, const AABB& remote_box) {
 }
 
 LetTree graft_lets(std::span<const LetTree> lets, double theta) {
-  BONSAI_CHECK(theta > 0.0);
+  BNS_CHECK(theta > 0.0);
   std::vector<const LetTree*> live;
   for (const LetTree& l : lets)
     if (!l.empty()) live.push_back(&l);
@@ -71,7 +71,7 @@ LetTree graft_lets(std::span<const LetTree> lets, double theta) {
   LetTree out;
   if (live.empty()) return out;
   const std::size_t n = live.size();
-  BONSAI_CHECK_MSG(n <= 255, "grafted root fans out to at most 255 LETs");
+  BNS_CHECK(n <= 255, "grafted root fans out to at most 255 LETs");
 
   std::size_t total_nodes = 1, total_parts = 0;
   for (const LetTree* l : live) {

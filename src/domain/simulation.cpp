@@ -139,8 +139,8 @@ std::size_t threads_for(const SimConfig& cfg, std::size_t hardware_threads) {
 }
 
 Simulation::Simulation(const SimConfig& cfg) : cfg_(cfg) {
-  BONSAI_CHECK(cfg_.nranks >= 1);
-  BONSAI_CHECK_MSG(cfg_.nranks <= 255, "grafted LET forests fan out to at most 255 ranks");
+  BNS_CHECK(cfg_.nranks >= 1);
+  BNS_CHECK(cfg_.nranks <= 255, "grafted LET forests fan out to at most 255 ranks");
   const std::size_t threads = threads_for(cfg_, std::thread::hardware_concurrency());
   ranks_.reserve(static_cast<std::size_t>(cfg_.nranks));
   for (int r = 0; r < cfg_.nranks; ++r)
@@ -281,7 +281,7 @@ RankStepStats run_rank_step(Rank& rank, const SimConfig& cfg, LetExchange& net,
     };
     while (std::optional<wire::LetMessage> msg = net.recv(static_cast<int>(r))) {
       const auto src = static_cast<std::size_t>(msg->src);
-      BONSAI_CHECK_MSG(src < nranks && src != r && active[src] && !pending[src],
+      BNS_CHECK(src < nranks && src != r && active[src] && !pending[src],
                        "LET from an invalid, inactive or duplicate source rank");
       pending[src] = std::move(*msg);
       walk_ready();
@@ -599,7 +599,7 @@ std::vector<ParticleSet> Simulation::checkpoint_sets() const {
 }
 
 void Simulation::restore(std::vector<ParticleSet> sets, int next_step) {
-  BONSAI_CHECK_MSG(sets.size() == ranks_.size(),
+  BNS_CHECK(sets.size() == ranks_.size(),
                    "checkpoint rank count must match the simulation config");
   for (std::size_t r = 0; r < ranks_.size(); ++r)
     ranks_[r]->parts() = std::move(sets[r]);

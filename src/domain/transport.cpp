@@ -178,7 +178,7 @@ std::uint16_t peek_type(std::span<const std::uint8_t> frame) {
 // --- InProcTransport ---------------------------------------------------------
 
 InProcTransport::InProcTransport(int nranks) {
-  BONSAI_CHECK(nranks >= 1);
+  BNS_CHECK(nranks >= 1);
   mailboxes_.reserve(static_cast<std::size_t>(nranks));
   for (int r = 0; r < nranks; ++r)
     mailboxes_.push_back(std::make_unique<Channel<std::vector<std::uint8_t>>>());
@@ -186,17 +186,17 @@ InProcTransport::InProcTransport(int nranks) {
 
 void InProcTransport::post(int src, int dst, std::vector<std::uint8_t> frame) {
   (void)src;
-  BONSAI_CHECK(dst >= 0 && dst < num_ranks());
+  BNS_CHECK(dst >= 0 && dst < num_ranks());
   mailboxes_[static_cast<std::size_t>(dst)]->send(std::move(frame));
 }
 
 std::optional<std::vector<std::uint8_t>> InProcTransport::recv(int dst) {
-  BONSAI_CHECK(dst >= 0 && dst < num_ranks());
+  BNS_CHECK(dst >= 0 && dst < num_ranks());
   return mailboxes_[static_cast<std::size_t>(dst)]->recv();
 }
 
 void InProcTransport::close(int dst) {
-  BONSAI_CHECK(dst >= 0 && dst < num_ranks());
+  BNS_CHECK(dst >= 0 && dst < num_ranks());
   mailboxes_[static_cast<std::size_t>(dst)]->close();
 }
 
@@ -258,7 +258,7 @@ SocketTransport::Peer& SocketTransport::add_peer(int fd, int rank) {
 
 std::unique_ptr<SocketTransport> SocketTransport::listen(std::uint16_t port, int nworkers,
                                                          SocketTopology topology) {
-  BONSAI_CHECK(nworkers >= 1);
+  BNS_CHECK(nworkers >= 1);
   auto t = std::unique_ptr<SocketTransport>(new SocketTransport());
   t->coordinator_ = true;
   t->topology_ = topology;
@@ -275,7 +275,7 @@ std::unique_ptr<SocketTransport> SocketTransport::listen(std::uint16_t port, int
 
 void SocketTransport::accept_workers(int timeout_ms,
                                      const std::function<bool()>& keep_waiting) {
-  BONSAI_CHECK(coordinator_);
+  BNS_CHECK(coordinator_);
   WallTimer deadline;
   for (int i = 0; i < nworkers_; ++i) {
     // Poll in short slices so a deadline or a died-before-connecting worker
@@ -336,7 +336,7 @@ void SocketTransport::accept_workers(int timeout_ms,
 
 std::unique_ptr<SocketTransport> SocketTransport::connect(const std::string& host,
                                                           std::uint16_t port, int rank) {
-  BONSAI_CHECK(rank >= 0);
+  BNS_CHECK(rank >= 0);
   auto t = std::unique_ptr<SocketTransport>(new SocketTransport());
   t->coordinator_ = false;
   t->topology_ = SocketTopology::kStar;
@@ -359,7 +359,7 @@ std::unique_ptr<SocketTransport> SocketTransport::connect(const std::string& hos
 std::unique_ptr<SocketTransport> SocketTransport::connect_mesh(const std::string& host,
                                                                std::uint16_t port, int rank,
                                                                std::uint16_t listen_port) {
-  BONSAI_CHECK(rank >= 0);
+  BNS_CHECK(rank >= 0);
   auto t = std::unique_ptr<SocketTransport>(new SocketTransport());
   t->coordinator_ = false;
   t->topology_ = SocketTopology::kMesh;
@@ -398,9 +398,9 @@ std::unique_ptr<SocketTransport> SocketTransport::connect_mesh(const std::string
 }
 
 void SocketTransport::mesh_with_peers(int timeout_ms) {
-  BONSAI_CHECK_MSG(!coordinator_ && topology_ == SocketTopology::kMesh,
+  BNS_CHECK(!coordinator_ && topology_ == SocketTopology::kMesh,
                    "mesh_with_peers on a non-mesh endpoint");
-  BONSAI_CHECK_MSG(!meshed_, "mesh already established");
+  BNS_CHECK(!meshed_, "mesh already established");
 
   // Dial every higher-ranked peer; its listener was bound before its Hello,
   // so the connection lands in the backlog even if the peer is still busy.
@@ -632,13 +632,13 @@ void SocketTransport::post(int src, int dst, std::vector<std::uint8_t> frame) {
   }
   Peer* peer = nullptr;
   if (coordinator_) {
-    BONSAI_CHECK(dst >= 0 && dst < nworkers_);
+    BNS_CHECK(dst >= 0 && dst < nworkers_);
     peer = peers_[static_cast<std::size_t>(dst)].get();
-    BONSAI_CHECK_MSG(peer != nullptr, "post to a worker that never connected");
+    BNS_CHECK(peer != nullptr, "post to a worker that never connected");
   } else if (topology_ == SocketTopology::kMesh && dst != kCoordinatorRank) {
     // Worker↔worker frames ride the pair's own socket; only coordinator-
     // addressed frames keep the star link.
-    BONSAI_CHECK_MSG(dst >= 0 && dst < nworkers_, "post to an unknown rank");
+    BNS_CHECK(dst >= 0 && dst < nworkers_, "post to an unknown rank");
     peer = mesh_link_[static_cast<std::size_t>(dst)];
     if (peer == nullptr)
       throw std::runtime_error("SocketTransport: no mesh link to " + peer_name(dst) +
@@ -662,13 +662,13 @@ bool SocketTransport::post_best_effort(int src, int dst,
 
 std::optional<std::vector<std::uint8_t>> SocketTransport::recv(int dst) {
   const int local = coordinator_ ? kCoordinatorRank : local_rank_;
-  BONSAI_CHECK_MSG(dst == local, "recv on a non-local endpoint");
+  BNS_CHECK(dst == local, "recv on a non-local endpoint");
   return inbox_.recv();
 }
 
 void SocketTransport::close(int dst) {
   const int local = coordinator_ ? kCoordinatorRank : local_rank_;
-  BONSAI_CHECK_MSG(dst == local, "close on a non-local endpoint");
+  BNS_CHECK(dst == local, "close on a non-local endpoint");
   close_local("closed locally");
 }
 

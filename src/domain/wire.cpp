@@ -149,12 +149,14 @@ class Reader {
   T raw() {
     const auto s = take(sizeof(T));
     T v = 0;
-    for (std::size_t i = 0; i < sizeof(T); ++i) v |= static_cast<T>(s[i]) << (8 * i);
+    for (std::size_t i = 0; i < sizeof(T); ++i)
+      v = static_cast<T>(v | (static_cast<T>(s[i]) << (8 * i)));
     return v;
   }
 
   template <typename T>
   void raw_span(std::span<T> out) {
+    if (out.empty()) return;  // empty vector => null data(); memcpy(null,...) is UB
     const auto s = take(out.size_bytes());
     if constexpr (kHostLittle) {
       std::memcpy(out.data(), s.data(), s.size());
@@ -640,6 +642,28 @@ std::uint64_t full_let_bytes(const LetTree& let) {
 
 }  // namespace
 
+void LetCacheEntry::check_consistency() const {
+  if (version == 0) {
+    BNS_CHECK(tree.nodes.empty() && tree.num_particles() == 0 && node_hist1.empty() &&
+                  node_hist2.empty() && part_hist1.empty() && part_hist2.empty() &&
+                  node_age.empty() && part_age.empty(),
+              "unsynced LET cache entry must be empty");
+    return;
+  }
+  const std::size_t n = tree.num_cells();
+  const std::size_t p = tree.num_particles();
+  BNS_CHECK(node_hist1.size() == n * kNodeValues && node_hist2.size() == n * kNodeValues,
+            "node history arrays out of step with the cached tree");
+  BNS_CHECK(part_hist1.size() == p * kPartValues && part_hist2.size() == p * kPartValues,
+            "particle history arrays out of step with the cached tree");
+  BNS_CHECK(node_age.size() == n && part_age.size() == p,
+            "age arrays out of step with the cached tree");
+  for (const std::uint8_t a : node_age)
+    BNS_CHECK(a >= 1 && a <= 3, "node age outside the prediction window");
+  for (const std::uint8_t a : part_age)
+    BNS_CHECK(a >= 1 && a <= 3, "particle age outside the prediction window");
+}
+
 LetEncodeResult encode_let_cached(const LetMessage& msg, LetCacheEntry& cache,
                                   double churn_ratio,
                                   std::vector<std::uint8_t>* scratch) {
@@ -751,6 +775,7 @@ LetEncodeResult encode_let_cached(const LetMessage& msg, LetCacheEntry& cache,
       res.is_delta = true;
       advance_let_cache(cache, let, nmatch, pmatch);
       ++cache.version;
+      if constexpr (kDcheckEnabled) cache.check_consistency();
       return res;
     }
     // Churn beyond the threshold: the patch is not worth shipping. Fall
@@ -764,6 +789,7 @@ LetEncodeResult encode_let_cached(const LetMessage& msg, LetCacheEntry& cache,
   res.is_delta = false;
   advance_let_cache(cache, let, {}, {});
   cache.version = 1;
+  if constexpr (kDcheckEnabled) cache.check_consistency();
   return res;
 }
 
@@ -780,6 +806,7 @@ LetMessage decode_let_cached(std::span<const std::uint8_t> frame, LetCacheEntry&
     LetMessage msg = decode_let(frame);
     advance_let_cache(cache, msg.let, {}, {});
     cache.version = 1;
+    if constexpr (kDcheckEnabled) cache.check_consistency();
     return msg;
   }
 
@@ -914,6 +941,7 @@ LetMessage decode_let_cached(std::span<const std::uint8_t> frame, LetCacheEntry&
   // cache, so a thrown WireError leaves it exactly as it was.
   advance_let_cache(cache, msg.let, nmatch, pmatch);
   ++cache.version;
+  if constexpr (kDcheckEnabled) cache.check_consistency();
   return msg;
 }
 
@@ -1036,7 +1064,7 @@ SimConfig decode_config(std::span<const std::uint8_t> frame) {
 }
 
 std::vector<std::uint8_t> encode_step_begin(const StepBegin& sb) {
-  BONSAI_CHECK(sb.active.size() == sb.boxes.size());
+  BNS_CHECK(sb.active.size() == sb.boxes.size());
   Writer w(FrameType::kStepBegin);
   w.i32(sb.step);
   w.u8(static_cast<std::uint8_t>(sb.mode));
@@ -1313,7 +1341,7 @@ void put_metrics(Writer& w, const metrics::Snapshot& m) {
   }
   w.u32(static_cast<std::uint32_t>(m.histograms.size()));
   for (const auto& [name, h] : m.histograms) {
-    BONSAI_CHECK(h.counts.size() == h.bounds.size() + 1);
+    BNS_CHECK(h.counts.size() == h.bounds.size() + 1);
     put_string(w, name);
     w.u32(static_cast<std::uint32_t>(h.bounds.size()));
     w.f64_span(h.bounds);

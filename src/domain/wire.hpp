@@ -157,6 +157,13 @@ struct LetCacheEntry {
   std::vector<std::uint8_t> node_age, part_age;
 
   void reset() { *this = LetCacheEntry{}; }
+
+  // Mirror consistency: history/age arrays sized to the cached tree, ages in
+  // [1, 3], and an unsynced entry (version 0) fully empty. Exporter and
+  // importer run the same check after every commit (Debug/sanitizer builds),
+  // so a divergence is caught at the seam instead of as silent drift in a
+  // later delta. Throws CheckError on violation.
+  void check_consistency() const;
 };
 
 // Per-rank accounting of the incremental exchange, carried through

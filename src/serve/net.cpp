@@ -138,26 +138,29 @@ FrameSocket dial(const std::string& host, std::uint16_t port) {
 }
 
 Listener::Listener(std::uint16_t port) {
-  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd_ < 0) fail("serve: socket failed");
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) fail("serve: socket failed");
   const int one = 1;
-  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(port);
-  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0)
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0)
     fail("serve: bind to port " + std::to_string(port) + " failed");
-  if (::listen(fd_, 64) != 0) fail("serve: listen failed");
+  if (::listen(fd, 64) != 0) fail("serve: listen failed");
   socklen_t len = sizeof(addr);
-  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0)
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0)
     fail("serve: getsockname failed");
   port_ = ntohs(addr.sin_port);
+  fd_.store(fd, std::memory_order_release);
 }
 
 std::optional<FrameSocket> Listener::accept() {
   while (true) {
-    const int client = ::accept(fd_, nullptr, nullptr);
+    const int fd = fd_.load(std::memory_order_acquire);
+    if (fd < 0) return std::nullopt;  // close() won the handover
+    const int client = ::accept(fd, nullptr, nullptr);
     if (client >= 0) {
       const int one = 1;
       ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
@@ -170,10 +173,12 @@ std::optional<FrameSocket> Listener::accept() {
 }
 
 void Listener::close() {
-  if (fd_ >= 0) {
-    ::shutdown(fd_, SHUT_RDWR);
-    ::close(fd_);
-    fd_ = -1;
+  // Exchange first so exactly one caller owns the old descriptor; shutdown()
+  // unblocks a concurrent accept() before the fd number can be recycled.
+  const int fd = fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
   }
 }
 

@@ -9,6 +9,7 @@
 // is handed to the wire decoders for full validation.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <span>
@@ -78,7 +79,10 @@ class Listener {
   void close();
 
  private:
-  int fd_ = -1;
+  // close() is called from a different thread than the accept loop (server
+  // shutdown), so the descriptor hands over atomically: close() exchanges it
+  // for -1 and is the only side that shuts down / closes the old fd.
+  std::atomic<int> fd_{-1};
   std::uint16_t port_ = 0;
 };
 

@@ -12,6 +12,7 @@
 #include "domain/rank.hpp"
 #include "domain/simulation.hpp"
 #include "serve/snapshot.hpp"
+#include "util/check.hpp"
 #include "util/ic.hpp"
 
 namespace bonsai::serve {
@@ -31,6 +32,19 @@ bool resident(wire::JobState s) {
 }
 
 }  // namespace
+
+void check_pool_slots(int pool_slots, int free_slots, std::span<const int> running_ranks) {
+  BNS_CHECK(pool_slots >= 1, "pool has no slots");
+  BNS_CHECK(free_slots >= 0 && free_slots <= pool_slots,
+            "free slot count ", free_slots, " outside [0, ", pool_slots, "]");
+  int held = 0;
+  for (const int r : running_ranks) {
+    BNS_CHECK(r >= 1, "running job holds no slots");
+    held += r;
+  }
+  BNS_CHECK(held == pool_slots - free_slots, "pool ledger out of balance: running jobs hold ",
+            held, " slots but ", pool_slots - free_slots, " are handed out");
+}
 
 std::string with_job_label(std::string name, int job_id) {
   const std::string label = "job=" + std::to_string(job_id);
@@ -71,6 +85,13 @@ struct JobServer::Job {
   std::vector<domain::StepReport> reports;
   std::thread runner;
 };
+
+void JobServer::check_pool_locked() const {
+  std::vector<int> running;
+  for (const auto& [id, job] : jobs_)
+    if (job->state == wire::JobState::kRunning) running.push_back(job->ranks);
+  check_pool_slots(pool_slots_, free_slots_, running);
+}
 
 JobServer::JobServer(const ServerConfig& cfg) : cfg_(cfg), listener_(cfg.port) {
   pool_slots_ = cfg_.limits.pool_slots > 0
@@ -383,7 +404,10 @@ void JobServer::schedule_locked() {
         continue;
       if (!best || job->spec.priority > best->spec.priority) best = job.get();
     }
-    if (!best) return;
+    if (!best) {
+      if constexpr (kDcheckEnabled) check_pool_locked();
+      return;
+    }
     if (best->ranks == 0) best->ranks = size_ranks_locked(*best);
     if (best->ranks <= free_slots_) {
       free_slots_ -= best->ranks;
@@ -404,6 +428,7 @@ void JobServer::schedule_locked() {
       if (!victim || job->spec.priority < victim->spec.priority) victim = job.get();
     }
     if (victim && victim->spec.priority < best->spec.priority) victim->suspend_requested = true;
+    if constexpr (kDcheckEnabled) check_pool_locked();
     return;
   }
 }

@@ -32,6 +32,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
@@ -41,6 +42,13 @@
 #include "serve/net.hpp"
 
 namespace bonsai::serve {
+
+// Pool-slot accounting invariant: 0 <= free <= total, and the running jobs'
+// rank counts sum to exactly the slots handed out (total - free). The
+// scheduler re-proves this under mu_ after every transition in Debug and
+// sanitizer builds; exposed as a free function so tests can probe it
+// directly. Throws CheckError on violation.
+void check_pool_slots(int pool_slots, int free_slots, std::span<const int> running_ranks);
 
 // Admission and pool limits. Rejection messages name the violated limit.
 struct ServerLimits {
@@ -94,6 +102,7 @@ class JobServer {
 
   // Scheduler core; callers hold mu_.
   void schedule_locked();
+  void check_pool_locked() const;
   int size_ranks_locked(const Job& job) const;
   domain::wire::JobStatusMsg describe_locked(const Job& job) const;
 

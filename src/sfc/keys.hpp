@@ -60,7 +60,7 @@ class KeySpace {
   // boundary particles strictly inside the key grid.
   explicit KeySpace(const AABB& bounds, CurveType curve = CurveType::kHilbert)
       : cube_(bounds.bounding_cube(1e-10 + 1e-6 * bounds.max_side())), curve_(curve) {
-    BONSAI_CHECK(cube_.valid());
+    BNS_CHECK(cube_.valid());
     inv_cell_ = static_cast<double>(kCoordRange) / cube_.max_side();
   }
 
@@ -90,7 +90,7 @@ class KeySpace {
 
   // Physical axis-aligned box of the level-L cell containing `key`.
   AABB cell_box(Key key, int level) const {
-    BONSAI_CHECK(level >= 0 && level <= kMaxLevel);
+    BNS_CHECK(level >= 0 && level <= kMaxLevel);
     const Coords c = decode(cell_first_key(key, level));
     const std::uint32_t grid = kCoordRange >> level;  // cell size in grid units
     const std::uint32_t cx = (c.x / grid) * grid;

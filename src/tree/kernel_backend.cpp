@@ -42,7 +42,7 @@ std::optional<KernelBackend> kernel_backend_from_name(std::string_view name) {
 void InteractionQueue::begin_walk(const TreeView& src, ParticleSet& targets,
                                   const WalkParams& params, KernelBackend backend,
                                   std::uint32_t target_begin, std::uint32_t target_end) {
-  BONSAI_CHECK_MSG(targets_ == nullptr, "finish_walk() must close the previous walk");
+  BNS_CHECK(targets_ == nullptr, "finish_walk() must close the previous walk");
   src_ = src;
   targets_ = &targets;
   params_ = params;
@@ -191,7 +191,7 @@ void InteractionQueue::close_leaf_run() {
 }
 
 InteractionStats InteractionQueue::finish_walk() {
-  BONSAI_CHECK_MSG(targets_ != nullptr, "finish_walk() without begin_walk()");
+  BNS_CHECK(targets_ != nullptr, "finish_walk() without begin_walk()");
   close_cell_run();
   close_leaf_run();
   flush();

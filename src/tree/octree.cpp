@@ -19,13 +19,13 @@ struct BuildItem {
 }  // namespace
 
 void Octree::build(const ParticleSet& parts, int nleaf) {
-  BONSAI_CHECK(nleaf >= 1);
+  BNS_CHECK(nleaf >= 1);
   const std::size_t n = parts.size();
   nodes_.clear();
   num_leaves_ = 0;
   max_depth_ = 0;
 
-  BONSAI_CHECK_MSG(std::is_sorted(parts.key.begin(), parts.key.end()),
+  BNS_CHECK(std::is_sorted(parts.key.begin(), parts.key.end()),
                    "particles must be SFC-sorted before tree construction");
 
   TreeNode root;
@@ -79,7 +79,7 @@ void Octree::build(const ParticleSet& parts, int nleaf) {
       }
       lo = hi;
     }
-    BONSAI_ASSERT(lo == pe);
+    BNS_DCHECK(lo == pe);
 
     nodes_[item.node].kind = NodeKind::kInternal;
     nodes_[item.node].first_child = first_child;
@@ -87,10 +87,52 @@ void Octree::build(const ParticleSet& parts, int nleaf) {
     for (std::uint8_t c = 0; c < created; ++c)
       stack.push_back({first_child + c, static_cast<std::uint8_t>(level + 1)});
   }
+
+  if constexpr (kDcheckEnabled) check_invariants();
+}
+
+void Octree::check_invariants() const {
+  BNS_CHECK(!nodes_.empty(), "built tree must have a root");
+  const TreeNode& root = nodes_.front();
+  BNS_CHECK(root.part_begin == 0);
+  BNS_CHECK(root.key_begin == 0 && root.key_end == sfc::kKeyEnd);
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const TreeNode& node = nodes_[i];
+    BNS_CHECK(node.part_begin <= node.part_end, "node ", i, " has inverted particle range");
+    BNS_CHECK(node.key_begin < node.key_end, "node ", i, " has empty key range");
+    if (node.is_leaf()) {
+      BNS_CHECK(node.num_children == 0, "leaf node ", i, " claims children");
+      continue;
+    }
+    BNS_CHECK(node.num_children >= 1 && node.num_children <= 8,
+              "internal node ", i, " has ", int(node.num_children), " children");
+    BNS_CHECK(node.first_child > static_cast<std::int32_t>(i),
+              "child pointer of node ", i, " does not point forward");
+    const auto end_child =
+        static_cast<std::size_t>(node.first_child) + node.num_children;
+    BNS_CHECK(end_child <= nodes_.size(), "child block of node ", i, " out of range");
+    // Children partition the parent's particle range and nest in its key
+    // range, in ascending key order, one level deeper.
+    std::uint32_t part_cursor = node.part_begin;
+    sfc::Key key_cursor = node.key_begin;
+    for (std::uint8_t c = 0; c < node.num_children; ++c) {
+      const TreeNode& ch = nodes_[static_cast<std::size_t>(node.first_child) + c];
+      BNS_CHECK(ch.level == node.level + 1, "child of node ", i, " skips a level");
+      BNS_CHECK(ch.part_begin == part_cursor,
+                "children of node ", i, " leave a particle gap");
+      BNS_CHECK(ch.part_end > ch.part_begin, "child of node ", i, " is empty");
+      BNS_CHECK(ch.key_begin >= key_cursor && ch.key_end <= node.key_end,
+                "child key range of node ", i, " escapes the parent");
+      part_cursor = ch.part_end;
+      key_cursor = ch.key_end;
+    }
+    BNS_CHECK(part_cursor == node.part_end,
+              "children of node ", i, " do not cover the parent's particles");
+  }
 }
 
 void Octree::compute_properties(const ParticleSet& parts, double theta) {
-  BONSAI_CHECK(theta > 0.0);
+  BNS_CHECK(theta > 0.0);
   // Children always have larger indices than their parent (DFS pre-order
   // construction), so a reverse sweep is a valid bottom-up pass.
   for (auto it = nodes_.rbegin(); it != nodes_.rend(); ++it) {
@@ -132,7 +174,7 @@ void Octree::compute_properties(const ParticleSet& parts, double theta) {
 }
 
 void set_opening_angle(std::vector<TreeNode>& nodes, double theta) {
-  BONSAI_CHECK(theta > 0.0);
+  BNS_CHECK(theta > 0.0);
   for (TreeNode& node : nodes) {
     if (node.count() == 0) continue;
     const double l = node.box.max_side();

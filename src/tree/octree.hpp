@@ -85,6 +85,12 @@ class Octree {
     return {nodes_, parts.x, parts.y, parts.z, parts.mass};
   }
 
+  // Structural invariants: child pointers forward and in range, each internal
+  // node's children partition its particle range and nest inside its key
+  // range, leaves childless. Throws CheckError on violation. build() runs
+  // this automatically in Debug and sanitizer builds.
+  void check_invariants() const;
+
  private:
   std::vector<TreeNode> nodes_;
   std::size_t num_leaves_ = 0;

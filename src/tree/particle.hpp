@@ -115,7 +115,7 @@ class ParticleSet {
 
   // Reorder all arrays so that entry i comes from old index perm[i].
   void apply_permutation(std::span<const std::uint32_t> perm) {
-    BONSAI_CHECK(perm.size() == size());
+    BNS_CHECK(perm.size() == size());
     permute(x, perm);
     permute(y, perm);
     permute(z, perm);

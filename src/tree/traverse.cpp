@@ -8,7 +8,7 @@
 namespace bonsai {
 
 std::vector<TargetGroup> make_groups(const ParticleSet& parts, int ncrit) {
-  BONSAI_CHECK_MSG(ncrit >= 1, "target groups need a positive capacity");
+  BNS_CHECK(ncrit >= 1, "target groups need a positive capacity");
   if (parts.empty()) return {};
   const auto n = static_cast<std::uint32_t>(parts.size());
   std::vector<TargetGroup> groups;

@@ -1,0 +1,12 @@
+#include "util/check.hpp"
+
+namespace bonsai::detail {
+
+void check_failed(const char* expr, const char* file, int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": check failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace bonsai::detail

@@ -1,39 +1,77 @@
-// Lightweight runtime checks.
+// Invariant framework for the load-bearing seams (ROADMAP PR-10).
 //
-// BONSAI_CHECK is always on (invariants whose violation means corrupted
-// results); BONSAI_ASSERT compiles out in release builds (hot paths).
+// BNS_CHECK is always on: violations mean corrupted results (malformed wire
+// input, broken exchange accounting), so the cost of the branch is part of
+// the contract. BNS_DCHECK compiles to nothing in plain Release builds — its
+// condition is NOT evaluated — but is active in Debug and in every sanitizer
+// build (the CMake sanitizer options define BONSAI_DCHECK_ON), which is where
+// the expensive structural invariants (octree child links, LET cache mirrors,
+// pool-slot accounting) earn their keep.
+//
+// Both throw CheckError — a typed std::logic_error carrying file:line, the
+// failed expression text, and an optional streamed message:
+//
+//   BNS_CHECK(a == b, "population drifted: ", a, " vs ", b);
+//   BNS_DCHECK(node.first_child > index);
+//
+// CheckError derives from std::logic_error so pre-existing catch sites and
+// EXPECT_THROW(…, std::logic_error) tests keep working.
 #pragma once
 
-#include <cstdio>
-#include <cstdlib>
 #include <sstream>
 #include <stdexcept>
 #include <string>
 
-namespace bonsai::detail {
+namespace bonsai {
 
-[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
-                                      const std::string& msg) {
-  std::ostringstream os;
-  os << file << ':' << line << ": check failed: " << expr;
-  if (!msg.empty()) os << " — " << msg;
-  throw std::logic_error(os.str());
+// A failed BNS_CHECK / BNS_DCHECK. what() is
+//   "<file>:<line>: check failed: <expr>[ — <message>]".
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+// Out of line so a check site costs one test + one call, not a string build.
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& msg);
+
+template <typename... Args>
+std::string check_format(const Args&... args) {
+  if constexpr (sizeof...(Args) == 0) {
+    return {};
+  } else {
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+  }
 }
 
-}  // namespace bonsai::detail
+}  // namespace detail
+}  // namespace bonsai
 
-#define BONSAI_CHECK(expr)                                                \
-  do {                                                                    \
-    if (!(expr)) ::bonsai::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+#define BNS_CHECK(expr, ...)                                         \
+  do {                                                               \
+    if (!(expr))                                                     \
+      ::bonsai::detail::check_failed(                                \
+          #expr, __FILE__, __LINE__,                                 \
+          ::bonsai::detail::check_format(__VA_ARGS__));              \
   } while (0)
 
-#define BONSAI_CHECK_MSG(expr, msg)                                       \
-  do {                                                                    \
-    if (!(expr)) ::bonsai::detail::check_failed(#expr, __FILE__, __LINE__, (msg)); \
-  } while (0)
-
-#ifdef NDEBUG
-#define BONSAI_ASSERT(expr) ((void)0)
+// Debug checks stay live under sanitizers: the sanitizer jobs re-prove the
+// structural invariants on every PR, not just whoever last ran a Debug build.
+#if !defined(NDEBUG) || defined(BONSAI_DCHECK_ON)
+#define BNS_DCHECK_ENABLED 1
+#define BNS_DCHECK(expr, ...) BNS_CHECK(expr __VA_OPT__(, ) __VA_ARGS__)
 #else
-#define BONSAI_ASSERT(expr) BONSAI_CHECK(expr)
+#define BNS_DCHECK_ENABLED 0
+// Arguments are not evaluated: a BNS_DCHECK may call O(n) validators.
+#define BNS_DCHECK(expr, ...) ((void)0)
 #endif
+
+namespace bonsai {
+// Compile-time mirror of the macro state, for code that wants to skip the
+// setup work feeding a disabled check (e.g. collecting per-job rank counts).
+inline constexpr bool kDcheckEnabled = BNS_DCHECK_ENABLED == 1;
+}  // namespace bonsai

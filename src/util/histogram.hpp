@@ -16,8 +16,8 @@ class Histogram1D {
  public:
   Histogram1D(double lo, double hi, std::size_t bins)
       : lo_(lo), hi_(hi), counts_(bins, 0.0) {
-    BONSAI_CHECK(hi > lo);
-    BONSAI_CHECK(bins > 0);
+    BNS_CHECK(hi > lo);
+    BNS_CHECK(bins > 0);
   }
 
   void add(double x, double weight = 1.0) {
@@ -55,8 +55,8 @@ class Histogram2D {
               double ylo, double yhi, std::size_t ybins)
       : xlo_(xlo), xhi_(xhi), ylo_(ylo), yhi_(yhi),
         xbins_(xbins), ybins_(ybins), counts_(xbins * ybins, 0.0) {
-    BONSAI_CHECK(xhi > xlo && yhi > ylo);
-    BONSAI_CHECK(xbins > 0 && ybins > 0);
+    BNS_CHECK(xhi > xlo && yhi > ylo);
+    BNS_CHECK(xbins > 0 && ybins > 0);
   }
 
   void add(double x, double y, double weight = 1.0) {

@@ -1,0 +1,67 @@
+// libFuzzer harness focused on the LetDelta patch path: every input is
+// decoded against a real mirrored cache (the deterministic drifting-cloud
+// scenario), so the varint/zigzag node records, the particle match runs and
+// the nibble-packed residual blobs all execute — not just the header checks.
+// Commit-after-validation is asserted: a rejected patch must leave the cache
+// version untouched.
+#include <cstdint>
+#include <cstring>
+#include <span>
+
+#include "wire_corpus.hpp"
+
+namespace {
+
+namespace wire = bonsai::domain::wire;
+
+const bonsai::fuzz::LetDeltaScenario& scenario() {
+  static const bonsai::fuzz::LetDeltaScenario sc = bonsai::fuzz::make_let_delta_scenario();
+  return sc;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  wire::LetCacheEntry cache = scenario().cache;
+  const std::uint64_t base_version = cache.version;
+  try {
+    wire::decode_let_cached({data, size}, cache);
+  } catch (const wire::WireError&) {
+    // A rejected frame must not have advanced the mirror (commit-after-
+    // validation). BNS_CHECK keeps this armed in Release fuzz builds too.
+    BNS_CHECK(cache.version == base_version,
+              "rejected LetDelta frame mutated the importer cache");
+  }
+  return 0;
+}
+
+#ifndef BONSAI_FUZZ_STANDALONE
+
+extern "C" std::size_t LLVMFuzzerMutate(std::uint8_t* data, std::size_t size,
+                                        std::size_t max_size);
+
+// Keep the header (magic/version/type=LetDelta) and the base-version payload
+// prefix plausible; mutate the record stream; re-patch the length field.
+extern "C" std::size_t LLVMFuzzerCustomMutator(std::uint8_t* data, std::size_t size,
+                                               std::size_t max_size, unsigned seed) {
+  constexpr std::size_t kHeader = wire::kHeaderBytes;
+  if (size < kHeader || max_size < kHeader) return LLVMFuzzerMutate(data, size, max_size);
+
+  const std::size_t payload =
+      LLVMFuzzerMutate(data + kHeader, size - kHeader, max_size - kHeader);
+  const std::uint32_t magic = wire::kMagic;
+  const std::uint16_t version = wire::kVersion;
+  const std::uint16_t type = seed % 16 == 0
+                                 ? static_cast<std::uint16_t>(wire::FrameType::kLet)
+                                 : static_cast<std::uint16_t>(wire::FrameType::kLetDelta);
+  std::memcpy(data, &magic, 4);
+  std::memcpy(data + 4, &version, 2);
+  std::memcpy(data + 6, &type, 2);
+  const std::uint64_t len = payload;
+  std::memcpy(data + 8, &len, 8);
+  return kHeader + payload;
+}
+
+#else
+#include "fuzz_main.hpp"
+#endif

@@ -1,0 +1,68 @@
+// Standalone driver for the fuzz harnesses when libFuzzer is unavailable
+// (gcc-only toolchains, and the ctest corpus-replay jobs). Compiled when
+// BONSAI_FUZZ_STANDALONE is defined; under clang the same harness sources
+// build against -fsanitize=fuzzer instead.
+//
+// Usage: fuzz_<target>_replay <corpus-dir-or-file>...
+//
+// Each corpus input is replayed as-is, then swept deterministically: every
+// truncation length and every single-byte XOR (0xA5) — the same adversarial
+// shapes the gtest loops use, so replay keeps pressure on the decoders even
+// without coverage guidance.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size);
+
+namespace bonsai::fuzz {
+
+inline std::vector<std::uint8_t> read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+inline void replay_input(const std::vector<std::uint8_t>& input) {
+  LLVMFuzzerTestOneInput(input.data(), input.size());
+  for (std::size_t len = 0; len < input.size(); ++len)
+    LLVMFuzzerTestOneInput(input.data(), len);
+  std::vector<std::uint8_t> bad = input;
+  for (std::size_t i = 0; i < bad.size(); ++i) {
+    bad[i] ^= 0xA5;
+    LLVMFuzzerTestOneInput(bad.data(), bad.size());
+    bad[i] ^= 0xA5;
+  }
+}
+
+inline int replay_main(int argc, char** argv) {
+  namespace fs = std::filesystem;
+  std::size_t inputs = 0;
+  for (int a = 1; a < argc; ++a) {
+    const fs::path root(argv[a]);
+    std::vector<fs::path> files;
+    if (fs::is_directory(root)) {
+      for (const auto& e : fs::directory_iterator(root))
+        if (e.is_regular_file()) files.push_back(e.path());
+    } else {
+      files.push_back(root);
+    }
+    for (const auto& f : files) {
+      replay_input(read_file(f));
+      ++inputs;
+    }
+  }
+  if (inputs == 0) {
+    std::fprintf(stderr, "no corpus inputs found\n");
+    return 1;
+  }
+  std::printf("replayed %zu corpus inputs (plus truncation/byte-flip sweeps)\n", inputs);
+  return 0;
+}
+
+}  // namespace bonsai::fuzz
+
+int main(int argc, char** argv) { return bonsai::fuzz::replay_main(argc, argv); }

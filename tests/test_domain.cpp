@@ -363,8 +363,8 @@ TEST_P(OneRankExactness, MatchesGlobalGroupWalkExactly) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Schedules, OneRankExactness, ::testing::Values(false, true),
-                         [](const ::testing::TestParamInfo<bool>& info) {
-                           return info.param ? "Async" : "Lockstep";
+                         [](const ::testing::TestParamInfo<bool>& pinfo) {
+                           return pinfo.param ? "Async" : "Lockstep";
                          });
 
 TEST(Simulation, MultiRankForcesMatchSingleTreeAndDirect) {

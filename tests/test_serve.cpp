@@ -14,6 +14,7 @@
 
 #include "domain/simulation.hpp"
 #include "serve/client.hpp"
+#include "serve/net.hpp"
 #include "serve/server.hpp"
 #include "serve/snapshot.hpp"
 #include "util/ic.hpp"
@@ -87,6 +88,22 @@ void expect_same_particles(const ParticleSet& a, const ParticleSet& b) {
   EXPECT_EQ(a.ay, b.ay);
   EXPECT_EQ(a.az, b.az);
   EXPECT_EQ(a.pot, b.pot);
+}
+
+// Regression for a TSan finding: server shutdown calls Listener::close()
+// from outside the accept loop's thread, so the descriptor handover must be
+// synchronized — close() must unblock a concurrent blocking accept() (which
+// then reports end-of-serving), never race on the fd.
+TEST(Listener, CloseFromAnotherThreadUnblocksAccept) {
+  serve::Listener listener(0);
+  ASSERT_GT(listener.port(), 0);
+  std::optional<serve::FrameSocket> accepted;
+  std::thread acceptor([&] { accepted = listener.accept(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));  // park in accept
+  listener.close();
+  acceptor.join();
+  EXPECT_FALSE(accepted.has_value());
+  EXPECT_NO_THROW(listener.close());  // idempotent after handover
 }
 
 TEST(Snapshot, FileRoundTripsCheckpointBitForBit) {

@@ -207,8 +207,8 @@ TEST(InProcTransport, PendingFramesStayReceivableAfterClose) {
 INSTANTIATE_TEST_SUITE_P(Backends, TransportConformance,
                          ::testing::Values(Backend::kInProc, Backend::kSocketStar,
                                            Backend::kSocketMesh),
-                         [](const ::testing::TestParamInfo<Backend>& info) {
-                           switch (info.param) {
+                         [](const ::testing::TestParamInfo<Backend>& pinfo) {
+                           switch (pinfo.param) {
                              case Backend::kInProc: return "InProc";
                              case Backend::kSocketStar: return "SocketStar";
                              default: return "SocketMesh";
